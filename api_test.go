@@ -1,0 +1,137 @@
+package blu_test
+
+import (
+	"math"
+	"testing"
+
+	"blu"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build a cell, measure, infer, schedule, compare.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cell, err := blu.NewCell(blu.CellConfig{
+		Scenario:  blu.NewTestbedScenario(6, 9, 7),
+		Subframes: 8000,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := blu.EstimateMeasurements(cell)
+	inf, err := blu.Infer(meas, blu.InferOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := blu.InferenceAccuracy(cell.GroundTruth(), inf.Topology); acc < 0.6 {
+		t.Errorf("inference accuracy %v", acc)
+	}
+
+	env := cell.Env()
+	pf, err := blu.NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := blu.NewSpeculative(env, blu.NewCalculator(inf.Topology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfM := blu.RunScheduler(cell, pf, 0, cell.Subframes())
+	bluM := blu.RunScheduler(cell, spec, 0, cell.Subframes())
+	if bluM.ThroughputMbps <= pfM.ThroughputMbps {
+		t.Errorf("BLU %v <= PF %v", bluM.ThroughputMbps, pfM.ThroughputMbps)
+	}
+}
+
+func TestPublicAPISystem(t *testing.T) {
+	cell, err := blu.NewCell(blu.CellConfig{
+		Scenario:  blu.NewTestbedScenario(5, 8, 11),
+		Subframes: 5000,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := blu.NewSystem(blu.SystemConfig{T: 30, L: 2000}, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) == 0 || rep.Speculative.TotalBits == 0 {
+		t.Error("system run produced nothing")
+	}
+}
+
+func TestPublicAPITraceFlow(t *testing.T) {
+	mk := func(seed uint64) *blu.Trace {
+		cell, err := blu.NewCell(blu.CellConfig{
+			Scenario:  blu.NewTestbedScenario(4, 6, seed),
+			Subframes: 2000,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cell.Export("api")
+	}
+	combined, err := blu.CombineTraceUEs(mk(1), mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.NumUE != 8 {
+		t.Fatalf("combined NumUE = %d", combined.NumUE)
+	}
+	replay, err := blu.NewCellFromTrace(combined, blu.ReplayConfig{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.NumUE() != 8 {
+		t.Errorf("replay NumUE = %d", replay.NumUE())
+	}
+
+	dense, err := blu.CombineTraceInterference(mk(3), mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Interference) != 12 {
+		t.Errorf("dense stations = %d", len(dense.Interference))
+	}
+}
+
+func TestPublicAPIMeasurementPlan(t *testing.T) {
+	plan, err := blu.BuildMeasurementPlan(blu.MeasurementPlanOptions{N: 10, K: 4, T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TMax() < blu.MeasurementLowerBound(10, 4, 5) {
+		t.Error("plan below lower bound")
+	}
+	est := blu.NewEstimator(10)
+	for _, clients := range plan.Subframes {
+		est.Record(clients, blu.NewClientSet(clients...)) // everyone accesses
+	}
+	m := est.Measurements()
+	for i := 0; i < 10; i++ {
+		if math.Abs(m.P[i]-1) > 1e-9 {
+			t.Errorf("p(%d) = %v, want 1", i, m.P[i])
+		}
+	}
+}
+
+func TestPublicAPIOutcomeConstants(t *testing.T) {
+	names := map[blu.Outcome]string{
+		blu.OutcomeIdle:      "idle",
+		blu.OutcomeBlocked:   "blocked",
+		blu.OutcomeCollision: "collision",
+		blu.OutcomeFading:    "fading",
+		blu.OutcomeSuccess:   "success",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%v.String() = %q", int(o), o.String())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command blusim regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	blusim list                 # show available experiments
+//	blusim all [flags]          # run every experiment in order
+//	blusim fig15 [flags]        # run one experiment
+//
+// Flags:
+//
+//	-scale f   workload scale in (0,1], 1 = paper scale (default 1)
+//	-seed n    random seed (default 1)
+//
+// Each experiment prints a table whose rows mirror the series the
+// corresponding paper figure plots; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blu/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "blusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blusim", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1, "workload scale in (0,1]; 1 is paper scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: blusim [flags] <experiment|all|list>")
+		fs.PrintDefaults()
+		fmt.Fprintln(fs.Output(), "experiments:", experiments.IDs())
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given")
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	reg := experiments.Registry()
+
+	switch cmd := fs.Arg(0); cmd {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case "all":
+		for _, id := range experiments.IDs() {
+			if err := runOne(reg, id, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return runOne(reg, cmd, opts)
+	}
+}
+
+func runOne(reg map[string]experiments.Runner, id string, opts experiments.Options) error {
+	runner, ok := reg[id]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try: blusim list)", id)
+	}
+	start := time.Now()
+	table, err := runner(opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	table.Fprint(os.Stdout)
+	fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command blutrace generates, inspects, and combines channel/
+// interference trace files (the Section 4.2 emulation methodology).
+//
+// Usage:
+//
+//	blutrace gen -o out.json [-ues 8] [-hts 12] [-subframes 30000] [-seed 1]
+//	blutrace info trace.json
+//	blutrace combine-ues -o big.json a.json b.json [c.json ...]
+//	blutrace combine-ht -o dense.json base.json extra.json [...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blu/internal/rng"
+	"blu/internal/sim"
+	"blu/internal/trace"
+	"blu/internal/wifi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "blutrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: blutrace <gen|info|combine-ues|combine-ht> ...")
+	}
+	switch args[0] {
+	case "gen":
+		return genCmd(args[1:])
+	case "info":
+		return infoCmd(args[1:])
+	case "combine-ues":
+		return combineCmd(args[1:], trace.CombineUEs)
+	case "combine-ht":
+		return combineCmd(args[1:], func(ts ...*trace.Trace) (*trace.Trace, error) {
+			if len(ts) < 2 {
+				return nil, fmt.Errorf("combine-ht needs a base and at least one extra trace")
+			}
+			return trace.CombineInterference(ts[0], ts[1:]...)
+		})
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	out := fs.String("o", "trace.json", "output file")
+	ues := fs.Int("ues", 8, "number of UEs")
+	hts := fs.Int("hts", 12, "number of WiFi stations")
+	subframes := fs.Int("subframes", 30000, "trace length in subframes")
+	seed := fs.Uint64("seed", 1, "random seed")
+	duty := fs.Float64("duty", 0.35, "mean hidden-terminal airtime target")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := rng.New(*seed)
+	stations := make([]wifi.Station, *hts)
+	for k := range stations {
+		target := *duty * (0.6 + 0.8*r.Float64())
+		if target > 0.9 {
+			target = 0.9
+		}
+		stations[k].Traffic = wifi.DutyCycle{Target: target}
+		stations[k].Rate = wifi.RateForSNR(12 + 14*r.Float64())
+	}
+	cell, err := sim.New(sim.Config{
+		Scenario:  sim.NewTestbedScenario(*ues, *hts, *seed),
+		Stations:  stations,
+		Subframes: *subframes,
+		Seed:      r.Uint64(),
+	})
+	if err != nil {
+		return err
+	}
+	tr := cell.Export(fmt.Sprintf("gen ues=%d hts=%d seed=%d", *ues, *hts, *seed))
+	if err := tr.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d UEs, %d stations, %d subframes, ground truth %v\n",
+		*out, tr.NumUE, len(tr.Interference), tr.Subframes, tr.GroundTruth())
+	return nil
+}
+
+func infoCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: blutrace info <trace.json>")
+	}
+	tr, err := trace.Load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("label:      %s\n", tr.Label)
+	fmt.Printf("ues:        %d\n", tr.NumUE)
+	fmt.Printf("subframes:  %d (%.1f s)\n", tr.Subframes, float64(tr.Subframes)/1000)
+	fmt.Printf("stations:   %d\n", len(tr.Interference))
+	for k, it := range tr.Interference {
+		fmt.Printf("  station %2d: airtime=%.2f hidden=%v edges=%v\n",
+			k, it.Airtime, it.HiddenFromENB, it.Edges)
+	}
+	fmt.Printf("ground truth: %v\n", tr.GroundTruth())
+	return nil
+}
+
+func combineCmd(args []string, combine func(...*trace.Trace) (*trace.Trace, error)) error {
+	fs := flag.NewFlagSet("combine", flag.ContinueOnError)
+	out := fs.String("o", "combined.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("need at least two input traces")
+	}
+	var traces []*trace.Trace
+	for _, path := range fs.Args() {
+		tr, err := trace.Load(path)
+		if err != nil {
+			return err
+		}
+		traces = append(traces, tr)
+	}
+	combined, err := combine(traces...)
+	if err != nil {
+		return err
+	}
+	if err := combined.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d UEs, %d stations, %d subframes\n",
+		*out, combined.NumUE, len(combined.Interference), combined.Subframes)
+	return nil
+}

@@ -1,0 +1,86 @@
+// Channel selection: the paper's "broader impact" application — use
+// BLU's interference blueprinting to assess the hidden-terminal impact
+// on each candidate unlicensed channel and pick the one where scheduled
+// uplink grants are most likely to be usable.
+//
+// Each channel hosts a different WiFi population; the eNB briefly
+// measures pair-wise access distributions on each, blueprints the
+// interference, and scores the channel by the blueprint-predicted
+// expected grant usability averaged over clients.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blu"
+)
+
+func main() {
+	const numUE = 8
+	type channel struct {
+		name string
+		seed uint64
+		hts  int
+	}
+	channels := []channel{
+		{"ch 36", 301, 6},
+		{"ch 40", 302, 14},
+		{"ch 44", 303, 10},
+		{"ch 48", 304, 20},
+	}
+
+	fmt.Printf("%-6s %4s %14s %14s %16s\n",
+		"chan", "HTs", "mean p(i)", "pred. usable", "blueprint h")
+	bestIdx, bestScore := -1, -1.0
+	for i, ch := range channels {
+		cell, err := blu.NewCell(blu.CellConfig{
+			Scenario:  blu.NewTestbedScenario(numUE, ch.hts, ch.seed),
+			Subframes: 10000,
+			Seed:      ch.seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inf, err := blu.Infer(blu.EstimateMeasurements(cell), blu.InferOptions{Seed: ch.seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Channel score: blueprint-predicted probability that a
+		// scheduled grant is usable, averaged over clients.
+		var meanP, predicted float64
+		for ue := 0; ue < numUE; ue++ {
+			meanP += inf.Topology.AccessProb(ue)
+		}
+		meanP /= numUE
+		// With BLU's pairing, a grant is wasted only when both of an
+		// over-scheduled pair are blocked; approximate the channel's
+		// recoverable utilization with the best complementary pair per
+		// client.
+		calc := blu.NewCalculator(inf.Topology)
+		for ue := 0; ue < numUE; ue++ {
+			best := inf.Topology.AccessProb(ue)
+			for other := 0; other < numUE; other++ {
+				if other == ue {
+					continue
+				}
+				pair := blu.NewClientSet(ue, other)
+				bothBlocked := calc.Prob(0, pair)
+				if u := 1 - bothBlocked; u > best {
+					best = u
+				}
+			}
+			predicted += best
+		}
+		predicted /= numUE
+
+		fmt.Printf("%-6s %4d %13.0f%% %13.0f%% %16d\n",
+			ch.name, ch.hts, 100*meanP, 100*predicted, len(inf.Topology.HTs))
+		if predicted > bestScore {
+			bestIdx, bestScore = i, predicted
+		}
+	}
+	fmt.Printf("\nselected channel: %s (predicted %.0f%% grant usability with over-scheduling)\n",
+		channels[bestIdx].name, 100*bestScore)
+}

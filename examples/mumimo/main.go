@@ -1,0 +1,65 @@
+// MU-MIMO: a 4-antenna eNB schedules up to 4 concurrent uplink streams
+// per resource block; BLU over-schedules up to 8 clients per RB using
+// the higher-order joint access distributions derived from the
+// blueprint (Section 3.6) and is compared against PF and the
+// access-aware baseline as the antenna count grows (the Fig 17 story).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blu"
+)
+
+func main() {
+	const (
+		numUE     = 16
+		numHT     = 24
+		subframes = 12000
+	)
+	fmt.Printf("%-3s %12s %12s %12s %10s %10s\n",
+		"M", "pf_mbps", "aa_mbps", "blu_mbps", "aa_gain", "blu_gain")
+	for _, m := range []int{1, 2, 4} {
+		cell, err := blu.NewCell(blu.CellConfig{
+			Scenario:  blu.NewTestbedScenario(numUE, numHT, 99),
+			M:         m,
+			Subframes: subframes,
+			Seed:      5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Blueprint once from pair-wise measurements; the same
+		// blueprint serves every antenna configuration.
+		inf, err := blu.Infer(blu.EstimateMeasurements(cell), blu.InferOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		calc := blu.NewCalculator(inf.Topology)
+
+		env := cell.Env()
+		pf, err := blu.NewPF(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aa, err := blu.NewAccessAware(env, calc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := blu.NewSpeculative(env, calc)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		pfM := blu.RunScheduler(cell, pf, 0, subframes)
+		aaM := blu.RunScheduler(cell, aa, 0, subframes)
+		bluM := blu.RunScheduler(cell, spec, 0, subframes)
+		fmt.Printf("%-3d %12.2f %12.2f %12.2f %9.2fx %9.2fx\n",
+			m, pfM.ThroughputMbps, aaM.ThroughputMbps, bluM.ThroughputMbps,
+			aaM.GainOver(pfM), bluM.GainOver(pfM))
+	}
+	fmt.Println("\nBLU's gain grows with M: more concurrent streams are at risk")
+	fmt.Println("of going unused per RB, so interference diversity buys more.")
+}

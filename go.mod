@@ -1,0 +1,3 @@
+module blu
+
+go 1.22

@@ -1,0 +1,834 @@
+package blueprint
+
+import (
+	"errors"
+	"math"
+
+	"blu/internal/rng"
+)
+
+// InferOptions tunes the deterministic topology-inference algorithm of
+// Section 3.4.2. The zero value selects sensible defaults.
+type InferOptions struct {
+	// MaxIterations bounds the constraint-repair iterations per start
+	// (default scales with the N² constraint count).
+	MaxIterations int
+	// Tolerance is the per-constraint violation (in the −log domain)
+	// below which a constraint counts as satisfied; it absorbs sampling
+	// noise in the measured distributions (default 0.02).
+	Tolerance float64
+	// RandomStarts is the number of random initial topologies tried in
+	// addition to the structured starts (default 8).
+	RandomStarts int
+	// Seed drives the random starts; runs are deterministic per seed.
+	Seed uint64
+	// MaxHTs caps the hidden terminals a candidate topology may use
+	// (default 4·N) to keep the system from degenerating into one
+	// terminal per constraint.
+	MaxHTs int
+	// StallLimit ends a start after this many iterations without
+	// improving that start's best violation (default 30 + 2N).
+	StallLimit int
+	// Perturbations is the number of iterated-local-search rounds run
+	// from each structured start's best topology (default 4): the best
+	// state is randomly perturbed (terminal removed, split, or merged)
+	// and repaired again, escaping local optima the greedy repair
+	// cannot leave on its own.
+	Perturbations int
+}
+
+func (o InferOptions) withDefaults(n int) InferOptions {
+	if o.MaxIterations <= 0 {
+		// The constraint count grows as N², so the repair budget must too.
+		o.MaxIterations = 400 + 20*n*n
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.02
+	}
+	if o.RandomStarts < 0 {
+		o.RandomStarts = 0
+	} else if o.RandomStarts == 0 {
+		o.RandomStarts = 8
+	}
+	if o.MaxHTs <= 0 {
+		o.MaxHTs = 4 * n
+		if o.MaxHTs < 8 {
+			o.MaxHTs = 8
+		}
+	}
+	if o.StallLimit <= 0 {
+		o.StallLimit = 30 + 2*n
+	}
+	if o.Perturbations <= 0 {
+		o.Perturbations = 4
+	}
+	return o
+}
+
+// InferResult reports the outcome of topology inference.
+type InferResult struct {
+	// Topology is the inferred blueprint, normalized (merged duplicate
+	// edge sets, sorted).
+	Topology *Topology
+	// Violation is the total residual constraint violation of the
+	// returned topology in the −log domain.
+	Violation float64
+	// MaxViolation is the largest single-constraint residual.
+	MaxViolation float64
+	// Converged reports whether every constraint is within tolerance.
+	Converged bool
+	// Starts is the number of initial topologies tried.
+	Starts int
+	// Iterations is the total constraint-repair iterations across starts.
+	Iterations int
+}
+
+// ErrNoClients is returned when measurements cover no clients.
+var ErrNoClients = errors.New("blueprint: measurements cover no clients")
+
+// Infer blue-prints the hidden-terminal interference topology from
+// individual and pair-wise client access probabilities (Section 3.4),
+// plus any third-order distributions present in the measurements (the
+// Section 3.5 extension for skewed topologies).
+//
+// It runs the greedy constraint-repair adaptation from multiple starting
+// topologies — the empty topology, a topology satisfying only the
+// individual constraints, one satisfying only the pair constraints, a
+// clique decomposition of the pair matrix, and several random
+// topologies — with iterated-local-search perturbations around each,
+// and returns the result with the smallest violation, breaking ties
+// toward fewer hidden terminals.
+func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
+	if m == nil || m.N == 0 {
+		return nil, ErrNoClients
+	}
+	if m.N > MaxClients {
+		return nil, errors.New("blueprint: too many clients for ClientSet")
+	}
+	opts = opts.withDefaults(m.N)
+	target := m.Transform()
+
+	res := &InferResult{}
+	var best *solverState
+	consider := func(s *solverState) {
+		res.Starts++
+		if best == nil || betterSolution(s, best, opts.Tolerance) {
+			best = s
+		}
+	}
+
+	r := rng.New(opts.Seed)
+	runStart := func(start startTopo) *solverState {
+		s := newSolver(target, start, opts)
+		res.Iterations += s.run(opts)
+		consider(s)
+		return s
+	}
+	pr := r.Split("perturb")
+	for _, start := range structuredStarts(target, opts) {
+		s := runStart(start)
+		if s.bestTotal <= opts.Tolerance && len(s.bestHTs) == 0 {
+			break // nothing to infer: no interference at all
+		}
+		// Iterated local search around this start's best state.
+		cur := s
+		for p := 0; p < opts.Perturbations; p++ {
+			if cur.bestTotal <= opts.Tolerance {
+				break
+			}
+			ns := runStart(perturbStart(cur.bestHTs, pr))
+			if ns.bestTotal < cur.bestTotal {
+				cur = ns
+			}
+		}
+	}
+	for i := 0; i < opts.RandomStarts; i++ {
+		s := runStart(randomStart(target, opts, r.Split("start").Split(string(rune('a'+i)))))
+		if s.bestTotal > opts.Tolerance {
+			runStart(perturbStart(s.bestHTs, pr))
+		}
+	}
+
+	topo := pruneInsignificant(target, best.topology().Normalize(), opts.Tolerance)
+	res.Topology = topo
+	res.Violation, res.MaxViolation = Residual(target, topo)
+	res.Converged = res.MaxViolation <= opts.Tolerance
+	return res, nil
+}
+
+// pruneInsignificant enforces the minimal-h objective on the final
+// topology: any hidden terminal whose removal keeps every constraint
+// within tolerance (or no worse than it already is) is noise-fitting
+// and dropped, weakest first.
+func pruneInsignificant(target *Transformed, topo *Topology, tol float64) *Topology {
+	_, curMax := Residual(target, topo)
+	bound := math.Max(tol, curMax)
+	for {
+		removed := false
+		weakest, weakestQ := -1, math.Inf(1)
+		for k, h := range topo.HTs {
+			if h.Q < weakestQ {
+				weakest, weakestQ = k, h.Q
+			}
+		}
+		if weakest < 0 {
+			break
+		}
+		for offset := 0; offset < len(topo.HTs); offset++ {
+			k := (weakest + offset) % len(topo.HTs)
+			cand := &Topology{N: topo.N, HTs: make([]HiddenTerminal, 0, len(topo.HTs)-1)}
+			cand.HTs = append(cand.HTs, topo.HTs[:k]...)
+			cand.HTs = append(cand.HTs, topo.HTs[k+1:]...)
+			if _, m := Residual(target, cand); m <= bound {
+				topo = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return topo
+}
+
+// betterSolution ranks candidate solutions: smaller violation first
+// (within tolerance bands so noise does not dominate), then fewer hidden
+// terminals, then strictly smaller violation.
+func betterSolution(a, b *solverState, tol float64) bool {
+	av, bv := a.bestTotal, b.bestTotal
+	aBand, bBand := int(av/tol), int(bv/tol)
+	if aBand != bBand {
+		return aBand < bBand
+	}
+	ah, bh := len(a.bestHTs), len(b.bestHTs)
+	if ah != bh {
+		return ah < bh
+	}
+	return av < bv
+}
+
+// Residual computes the total and maximum constraint violation of topo
+// against the transformed measurement targets (individuals, pairs, and
+// any triple constraints), in the −log domain.
+func Residual(t *Transformed, topo *Topology) (total, maxViol float64) {
+	n := t.N
+	A := make([]float64, n)
+	B := make([]float64, n*n)
+	C := make([]float64, len(t.T3))
+	for _, ht := range topo.HTs {
+		Q := QFromProb(ht.Q)
+		members := ht.Clients.Members()
+		for ai, i := range members {
+			A[i] += Q
+			for _, j := range members[ai+1:] {
+				B[i*n+j] += Q
+			}
+		}
+		for idx, t3 := range t.T3 {
+			if ht.Clients.Contains(t3.Clients) {
+				C[idx] += Q
+			}
+		}
+	}
+	add := func(v float64) {
+		v = math.Abs(v)
+		total += v
+		if v > maxViol {
+			maxViol = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		add(A[i] - t.PI[i])
+		for j := i + 1; j < n; j++ {
+			add(B[i*n+j] - t.PIJ(i, j))
+		}
+	}
+	for idx, t3 := range t.T3 {
+		add(C[idx] - t3.Target)
+	}
+	return total, maxViol
+}
+
+// maxQ caps Q(k) = −log(1−q) so q stays strictly below 1.
+const maxQ = 13.8 // q ≈ 1 − 1e−6
+
+// solverState is one constraint-repair run: the working topology in the
+// −log domain plus incrementally maintained constraint sums.
+type solverState struct {
+	n      int
+	target *Transformed
+	hts    []ht // working set; Q in transformed domain
+	A      []float64
+	B      []float64 // upper-triangular i<j at [i*n+j]
+	C      []float64 // triple-constraint sums, aligned with target.T3
+	total  float64
+
+	bestTotal float64
+	bestHTs   []ht
+}
+
+// ht is a working hidden terminal with Q in the transformed domain.
+type ht struct {
+	Q       float64
+	clients ClientSet
+}
+
+type startTopo []ht
+
+func newSolver(target *Transformed, start startTopo, opts InferOptions) *solverState {
+	n := target.N
+	s := &solverState{
+		n:      n,
+		target: target,
+		A:      make([]float64, n),
+		B:      make([]float64, n*n),
+		C:      make([]float64, len(target.T3)),
+	}
+	for _, h := range start {
+		if h.clients.Empty() || h.Q <= 0 {
+			continue
+		}
+		s.hts = append(s.hts, h)
+		s.addSums(h.clients, h.Q)
+	}
+	s.total = s.recomputeTotal()
+	s.snapshot()
+	return s
+}
+
+// addSums adds dq to every constraint sum an edge set contributes to.
+func (s *solverState) addSums(set ClientSet, dq float64) {
+	members := set.Members()
+	for ai, i := range members {
+		s.A[i] += dq
+		for _, j := range members[ai+1:] {
+			s.B[i*s.n+j] += dq
+		}
+	}
+	for idx, t3 := range s.target.T3 {
+		if set.Contains(t3.Clients) {
+			s.C[idx] += dq
+		}
+	}
+}
+
+func (s *solverState) recomputeTotal() float64 {
+	var total float64
+	for i := 0; i < s.n; i++ {
+		total += math.Abs(s.A[i] - s.target.PI[i])
+		for j := i + 1; j < s.n; j++ {
+			total += math.Abs(s.B[i*s.n+j] - s.target.PIJ(i, j))
+		}
+	}
+	for idx, t3 := range s.target.T3 {
+		total += math.Abs(s.C[idx] - t3.Target)
+	}
+	return total
+}
+
+func (s *solverState) snapshot() {
+	s.bestTotal = s.total
+	s.bestHTs = append(s.bestHTs[:0], s.hts...)
+}
+
+// violDelta returns the change in |sum−target| if sum changes by d.
+func violDelta(sum, target, d float64) float64 {
+	return math.Abs(sum+d-target) - math.Abs(sum-target)
+}
+
+// contrib returns q if clients covers the constraint member set.
+func contrib(q float64, clients, constraint ClientSet) float64 {
+	if clients.Contains(constraint) {
+		return q
+	}
+	return 0
+}
+
+// deltaReplace returns the total-violation change of replacing a hidden
+// terminal (oldQ, oldC) with (newQ, newC). Either side may be the empty
+// terminal (q=0, no clients) to express insertion or deletion. This is
+// the single primitive every adaptation move reduces to, and it is
+// exact for individual, pair, and triple constraints alike.
+func (s *solverState) deltaReplace(oldQ float64, oldC ClientSet, newQ float64, newC ClientSet) float64 {
+	u := oldC.Union(newC)
+	members := u.Members()
+	var delta float64
+	for ai, i := range members {
+		ci := NewClientSet(i)
+		d := contrib(newQ, newC, ci) - contrib(oldQ, oldC, ci)
+		if d != 0 {
+			delta += violDelta(s.A[i], s.target.PI[i], d)
+		}
+		for _, j := range members[ai+1:] {
+			cp := NewClientSet(i, j)
+			d := contrib(newQ, newC, cp) - contrib(oldQ, oldC, cp)
+			if d != 0 {
+				delta += violDelta(s.B[i*s.n+j], s.target.PIJ(i, j), d)
+			}
+		}
+	}
+	for idx, t3 := range s.target.T3 {
+		if !u.Contains(t3.Clients) {
+			continue
+		}
+		d := contrib(newQ, newC, t3.Clients) - contrib(oldQ, oldC, t3.Clients)
+		if d != 0 {
+			delta += violDelta(s.C[idx], t3.Target, d)
+		}
+	}
+	return delta
+}
+
+// applyReplace mutates the state: k >= 0 replaces that terminal
+// (removing it entirely when newC is empty or newQ <= 0); k < 0 appends
+// a new terminal.
+func (s *solverState) applyReplace(k int, newQ float64, newC ClientSet) {
+	var oldQ float64
+	var oldC ClientSet
+	if k >= 0 {
+		oldQ, oldC = s.hts[k].Q, s.hts[k].clients
+	}
+	s.total += s.deltaReplace(oldQ, oldC, newQ, newC)
+	// Update sums: remove old contribution, add new.
+	if !oldC.Empty() && oldQ != 0 {
+		s.addSums(oldC, -oldQ)
+	}
+	if !newC.Empty() && newQ > 0 {
+		s.addSums(newC, newQ)
+	}
+	switch {
+	case k < 0:
+		s.hts = append(s.hts, ht{Q: newQ, clients: newC})
+	case newC.Empty() || newQ <= 0:
+		s.hts = append(s.hts[:k], s.hts[k+1:]...)
+	default:
+		s.hts[k] = ht{Q: newQ, clients: newC}
+	}
+}
+
+// move is one candidate topology adaptation.
+type move struct {
+	delta float64 // change in total violation
+	addHT bool    // whether the move grows the hidden-terminal count
+	k     int     // terminal replaced (-1 = new)
+	newQ  float64
+	newC  ClientSet
+}
+
+// replaceMove builds the candidate replacing terminal k.
+func (s *solverState) replaceMove(k int, newQ float64, newC ClientSet) move {
+	return move{
+		delta: s.deltaReplace(s.hts[k].Q, s.hts[k].clients, newQ, newC),
+		k:     k,
+		newQ:  newQ,
+		newC:  newC,
+	}
+}
+
+// newHTMove builds the candidate inserting a fresh terminal.
+func (s *solverState) newHTMove(clients ClientSet, q float64) move {
+	return move{
+		delta: s.deltaReplace(0, 0, q, clients),
+		addHT: true,
+		k:     -1,
+		newQ:  q,
+		newC:  clients,
+	}
+}
+
+// run iterates the constraint-repair adaptation until convergence,
+// stall, or the iteration budget; it returns iterations used. The best
+// topology seen (not the final one) is kept.
+func (s *solverState) run(opts InferOptions) int {
+	stall := 0
+	iters := 0
+	for ; iters < opts.MaxIterations; iters++ {
+		set, viol := s.worstConstraint()
+		if viol <= opts.Tolerance {
+			break
+		}
+		m, ok := s.bestMove(set, opts)
+		if !ok {
+			break
+		}
+		s.applyReplace(m.k, m.newQ, m.newC)
+		s.prune()
+		if s.total < s.bestTotal-1e-12 {
+			s.snapshot()
+			stall = 0
+		} else {
+			stall++
+			if stall >= opts.StallLimit {
+				break
+			}
+		}
+	}
+	return iters
+}
+
+// worstConstraint returns the maximally violated constraint, identified
+// by its client member set (1 member = individual, 2 = pair,
+// 3 = triple).
+func (s *solverState) worstConstraint() (set ClientSet, viol float64) {
+	for a := 0; a < s.n; a++ {
+		if v := math.Abs(s.A[a] - s.target.PI[a]); v > viol {
+			set, viol = NewClientSet(a), v
+		}
+		for b := a + 1; b < s.n; b++ {
+			if v := math.Abs(s.B[a*s.n+b] - s.target.PIJ(a, b)); v > viol {
+				set, viol = NewClientSet(a, b), v
+			}
+		}
+	}
+	for idx, t3 := range s.target.T3 {
+		if v := math.Abs(s.C[idx] - t3.Target); v > viol {
+			set, viol = t3.Clients, v
+		}
+	}
+	return set, viol
+}
+
+// constraintSum returns the current sum for a constraint member set.
+func (s *solverState) constraintSum(set ClientSet) float64 {
+	switch set.Count() {
+	case 1:
+		return s.A[set.Members()[0]]
+	case 2:
+		m := set.Members()
+		return s.B[m[0]*s.n+m[1]]
+	default:
+		for idx, t3 := range s.target.T3 {
+			if t3.Clients == set {
+				return s.C[idx]
+			}
+		}
+	}
+	return 0
+}
+
+// constraintTarget returns the target for a constraint member set.
+func (s *solverState) constraintTarget(set ClientSet) float64 {
+	switch set.Count() {
+	case 1:
+		return s.target.PI[set.Members()[0]]
+	case 2:
+		m := set.Members()
+		return s.target.PIJ(m[0], m[1])
+	default:
+		for _, t3 := range s.target.T3 {
+			if t3.Clients == set {
+				return t3.Target
+			}
+		}
+	}
+	return 0
+}
+
+// bestMove enumerates the Section 3.4.2 adaptations for the violated
+// constraint with member set cs — generalized to any constraint order:
+//
+//	over-contribution: decrease Q of a covering terminal (floored at
+//	removal), or detach one or all of the constraint's clients from it;
+//	under-contribution: increase Q of a covering terminal, attach the
+//	missing constraint clients to a partially-covering terminal, or
+//	introduce a new terminal with exactly the constraint's edges.
+func (s *solverState) bestMove(cs ClientSet, opts InferOptions) (move, bool) {
+	c := s.constraintSum(cs) - s.constraintTarget(cs)
+	var cands []move
+	if c > 0 { // over-contribution
+		for k := range s.hts {
+			h := s.hts[k]
+			if !h.clients.Contains(cs) {
+				continue
+			}
+			dec := math.Min(c, h.Q)
+			cands = append(cands, s.replaceMove(k, h.Q-dec, h.clients))
+			// Detach each constraint client individually, and all of
+			// them together.
+			cs.ForEach(func(i int) {
+				cands = append(cands, s.replaceMove(k, h.Q, h.clients.Remove(i)))
+			})
+			if cs.Count() > 1 {
+				cands = append(cands, s.replaceMove(k, h.Q, h.clients.Minus(cs)))
+			}
+		}
+	} else { // under-contribution
+		need := -c
+		for k := range s.hts {
+			h := s.hts[k]
+			if h.clients.Contains(cs) {
+				// (a) increase Q(k) by the deficit.
+				if h.Q+need <= maxQ {
+					cands = append(cands, s.replaceMove(k, h.Q+need, h.clients))
+				}
+				continue
+			}
+			// (b) attach the missing clients to avail Q(k).
+			cands = append(cands, s.replaceMove(k, h.Q, h.clients.Union(cs)))
+		}
+		// (c) a new hidden terminal supplying exactly the deficit.
+		if len(s.hts) < opts.MaxHTs && need <= maxQ {
+			cands = append(cands, s.newHTMove(cs, need))
+		}
+	}
+	return pickMove(cands)
+}
+
+// pickMove returns the candidate with the smallest violation delta,
+// preferring moves that do not add hidden terminals on near-ties.
+func pickMove(cands []move) (move, bool) {
+	if len(cands) == 0 {
+		return move{}, false
+	}
+	best := cands[0]
+	for _, m := range cands[1:] {
+		if m.delta < best.delta-1e-12 ||
+			(math.Abs(m.delta-best.delta) <= 1e-12 && best.addHT && !m.addHT) {
+			best = m
+		}
+	}
+	return best, true
+}
+
+// prune drops hidden terminals that lost all edges or whose access
+// probability collapsed to zero.
+func (s *solverState) prune() {
+	for k := len(s.hts) - 1; k >= 0; k-- {
+		h := s.hts[k]
+		if h.clients.Empty() || h.Q <= 1e-9 {
+			s.applyReplace(k, 0, 0)
+		}
+	}
+}
+
+// topology converts the best snapshot back to probability space.
+func (s *solverState) topology() *Topology {
+	t := &Topology{N: s.n}
+	for _, h := range s.bestHTs {
+		if h.clients.Empty() || h.Q <= 0 {
+			continue
+		}
+		t.HTs = append(t.HTs, HiddenTerminal{Q: ProbFromQ(h.Q), Clients: h.clients})
+	}
+	return t
+}
+
+// structuredStarts builds the non-random initial topologies: empty,
+// individual-constraints-only, pair-constraints-only, and the clique
+// decomposition.
+func structuredStarts(t *Transformed, opts InferOptions) []startTopo {
+	var starts []startTopo
+	starts = append(starts, startTopo{}) // empty
+
+	var indiv startTopo
+	for i := 0; i < t.N; i++ {
+		if t.PI[i] > opts.Tolerance {
+			indiv = append(indiv, ht{Q: t.PI[i], clients: NewClientSet(i)})
+		}
+	}
+	starts = append(starts, indiv)
+
+	var pairs startTopo
+	for i := 0; i < t.N; i++ {
+		for j := i + 1; j < t.N; j++ {
+			if v := t.PIJ(i, j); v > opts.Tolerance {
+				pairs = append(pairs, ht{Q: v, clients: NewClientSet(i, j)})
+			}
+		}
+	}
+	starts = append(starts, pairs)
+	starts = append(starts, cliqueStart(t, opts))
+	return starts
+}
+
+// cliqueStart decomposes the pair-constraint matrix greedily into
+// equal-weight cliques: each hidden terminal with edge set S and
+// transformed access Q contributes exactly Q to every pair constraint
+// inside S, so repeatedly extracting the heaviest remaining pair,
+// growing it into a clique of comparable residual weight, and
+// subtracting its weight reconstructs the hidden-terminal layer
+// directly. Leftover individual deficits become single-client
+// terminals. The repair loop then polishes the result.
+func cliqueStart(t *Transformed, opts InferOptions) startTopo {
+	n := t.N
+	// Residual pair and individual constraint matrices.
+	R := make([]float64, n*n)
+	RI := make([]float64, n)
+	copy(RI, t.PI)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			R[i*n+j] = t.PIJ(i, j)
+		}
+	}
+	at := func(a, b int) float64 {
+		if a > b {
+			a, b = b, a
+		}
+		return R[a*n+b]
+	}
+	sub := func(a, b int, v float64) {
+		if a > b {
+			a, b = b, a
+		}
+		R[a*n+b] -= v
+		if R[a*n+b] < 0 {
+			R[a*n+b] = 0
+		}
+	}
+
+	var start startTopo
+	for len(start) < opts.MaxHTs {
+		// Heaviest remaining pair seeds the clique.
+		bi, bj, best := -1, -1, opts.Tolerance
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if R[i*n+j] > best {
+					bi, bj, best = i, j, R[i*n+j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		members := []int{bi, bj}
+		in := NewClientSet(bi, bj)
+		q := best
+		// Grow while some client shares above-noise residual weight with
+		// every current member (then it is covered by the same hidden
+		// terminal; the min over members blocks unrelated cliques).
+		for {
+			bestL, bestMin := -1, math.Max(2*opts.Tolerance, 0.1*q)
+			for l := 0; l < n; l++ {
+				if in.Has(l) {
+					continue
+				}
+				minR := math.Inf(1)
+				for _, s := range members {
+					if v := at(l, s); v < minR {
+						minR = v
+					}
+				}
+				if minR > bestMin {
+					bestL, bestMin = l, minR
+				}
+			}
+			if bestL < 0 {
+				break
+			}
+			members = append(members, bestL)
+			in = in.Add(bestL)
+			if bestMin < q {
+				q = bestMin
+			}
+		}
+		for ai, a := range members {
+			for _, b := range members[ai+1:] {
+				sub(a, b, q)
+			}
+			RI[a] -= q
+		}
+		start = append(start, ht{Q: q, clients: in})
+	}
+	// Residual individual-only interference: single-client terminals.
+	for i := 0; i < n && len(start) < opts.MaxHTs; i++ {
+		if RI[i] > opts.Tolerance {
+			start = append(start, ht{Q: RI[i], clients: NewClientSet(i)})
+		}
+	}
+	return start
+}
+
+// perturbStart randomly mutates a converged topology — removing,
+// splitting, or merging a hidden terminal — so the repair loop explores
+// a different basin from an almost-right configuration.
+func perturbStart(hts []ht, r *rng.Source) startTopo {
+	start := append(startTopo(nil), hts...)
+	if len(start) == 0 {
+		return start
+	}
+	switch r.Intn(3) {
+	case 0: // remove a random terminal
+		k := r.Intn(len(start))
+		start = append(start[:k], start[k+1:]...)
+	case 1: // split a multi-client terminal into two halves
+		k := r.Intn(len(start))
+		members := start[k].clients.Members()
+		if len(members) < 2 {
+			break
+		}
+		var a, b ClientSet
+		for _, m := range members {
+			if r.Bool(0.5) {
+				a = a.Add(m)
+			} else {
+				b = b.Add(m)
+			}
+		}
+		if a.Empty() || b.Empty() {
+			break
+		}
+		q := start[k].Q
+		start[k] = ht{Q: q, clients: a}
+		start = append(start, ht{Q: q, clients: b})
+	default: // merge two terminals into their union
+		if len(start) < 2 {
+			break
+		}
+		k1 := r.Intn(len(start))
+		k2 := r.Intn(len(start))
+		if k1 == k2 {
+			break
+		}
+		merged := ht{
+			Q:       math.Max(start[k1].Q, start[k2].Q),
+			clients: start[k1].clients.Union(start[k2].clients),
+		}
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		start[k1] = merged
+		start = append(start[:k2], start[k2+1:]...)
+	}
+	return start
+}
+
+// randomStart draws a random topology with a random number of hidden
+// terminals, random edge sets biased toward small degree, and random
+// access probabilities bounded by the largest individual constraint.
+func randomStart(t *Transformed, opts InferOptions, r *rng.Source) startTopo {
+	// Only clients that actually see interference participate.
+	var active []int
+	var maxPI float64
+	for i := 0; i < t.N; i++ {
+		if t.PI[i] > opts.Tolerance {
+			active = append(active, i)
+		}
+		if t.PI[i] > maxPI {
+			maxPI = t.PI[i]
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	h := 1 + r.Intn(min(2*len(active), opts.MaxHTs))
+	start := make(startTopo, 0, h)
+	for k := 0; k < h; k++ {
+		var set ClientSet
+		// Average degree around 2, at least 1.
+		for _, i := range active {
+			if r.Bool(2 / float64(len(active))) {
+				set = set.Add(i)
+			}
+		}
+		if set.Empty() {
+			set = set.Add(active[r.Intn(len(active))])
+		}
+		q := r.Float64() * maxPI
+		if q <= 0 {
+			continue
+		}
+		start = append(start, ht{Q: q, clients: set})
+	}
+	return start
+}

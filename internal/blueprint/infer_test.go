@@ -1,0 +1,232 @@
+package blueprint
+
+import (
+	"math"
+	"testing"
+
+	"blu/internal/rng"
+)
+
+// inferExact runs inference on the exact distributions induced by topo.
+func inferExact(t *testing.T, topo *Topology, opts InferOptions) *InferResult {
+	t.Helper()
+	res, err := Infer(topo.Measure(), opts)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	return res
+}
+
+func TestInferRecoversSingleTerminal(t *testing.T) {
+	truth := &Topology{N: 3, HTs: []HiddenTerminal{{Q: 0.4, Clients: NewClientSet(0, 2)}}}
+	res := inferExact(t, truth, InferOptions{Seed: 1})
+	if acc := Accuracy(truth.Normalize(), res.Topology); acc != 1 {
+		t.Fatalf("accuracy = %v, inferred %v", acc, res.Topology)
+	}
+	if mae, n := QError(truth.Normalize(), res.Topology); n != 1 || mae > 0.02 {
+		t.Errorf("q error = %v over %d matches", mae, n)
+	}
+}
+
+func TestInferRecoversDisjointTerminals(t *testing.T) {
+	truth := &Topology{N: 6, HTs: []HiddenTerminal{
+		{Q: 0.35, Clients: NewClientSet(0, 1)},
+		{Q: 0.20, Clients: NewClientSet(2, 3)},
+		{Q: 0.50, Clients: NewClientSet(4)},
+	}}
+	res := inferExact(t, truth, InferOptions{Seed: 2})
+	if acc := Accuracy(truth.Normalize(), res.Topology); acc != 1 {
+		t.Fatalf("accuracy = %v, inferred %v", acc, res.Topology)
+	}
+	if !res.Converged {
+		t.Errorf("not converged: violation %v", res.Violation)
+	}
+}
+
+func TestInferRecoversOverlappingTerminals(t *testing.T) {
+	truth := fig1Topology()
+	res := inferExact(t, truth, InferOptions{Seed: 3})
+	acc := Accuracy(truth.Normalize(), res.Topology)
+	if acc < 0.75 {
+		t.Fatalf("accuracy = %v, inferred %v, truth %v", acc, res.Topology, truth)
+	}
+	// Whatever the structure, the inferred topology must reproduce the
+	// measurements within tolerance.
+	m := truth.Measure()
+	for i := 0; i < truth.N; i++ {
+		if math.Abs(res.Topology.AccessProb(i)-m.P[i]) > 0.05 {
+			t.Errorf("inferred p(%d) = %v, measured %v",
+				i, res.Topology.AccessProb(i), m.P[i])
+		}
+	}
+}
+
+func TestInferEmptyTopology(t *testing.T) {
+	truth := &Topology{N: 5}
+	res := inferExact(t, truth, InferOptions{Seed: 4})
+	if len(res.Topology.HTs) != 0 {
+		t.Errorf("inferred %d HTs from interference-free cell", len(res.Topology.HTs))
+	}
+	if !res.Converged {
+		t.Error("trivial instance did not converge")
+	}
+}
+
+func TestInferNilMeasurements(t *testing.T) {
+	if _, err := Infer(nil, InferOptions{}); err == nil {
+		t.Error("nil measurements accepted")
+	}
+	if _, err := Infer(NewMeasurements(0), InferOptions{}); err == nil {
+		t.Error("zero-client measurements accepted")
+	}
+}
+
+func TestInferWithSamplingNoise(t *testing.T) {
+	truth := &Topology{N: 5, HTs: []HiddenTerminal{
+		{Q: 0.30, Clients: NewClientSet(0, 1)},
+		{Q: 0.25, Clients: NewClientSet(2, 3, 4)},
+	}}
+	// Sample T=400 joint observations per pair as the measurement phase
+	// would, then infer from the noisy estimates.
+	r := rng.New(99)
+	const T = 400
+	m := NewMeasurements(truth.N)
+	countI := make([]int, truth.N)
+	countIJ := make([][]int, truth.N)
+	for i := range countIJ {
+		countIJ[i] = make([]int, truth.N)
+	}
+	for trial := 0; trial < T; trial++ {
+		var active ClientSet // clients blocked this subframe
+		for _, ht := range truth.HTs {
+			if r.Bool(ht.Q) {
+				active = active.Union(ht.Clients)
+			}
+		}
+		for i := 0; i < truth.N; i++ {
+			if !active.Has(i) {
+				countI[i]++
+				for j := i + 1; j < truth.N; j++ {
+					if !active.Has(j) {
+						countIJ[i][j]++
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < truth.N; i++ {
+		m.P[i] = float64(countI[i]) / T
+		for j := i + 1; j < truth.N; j++ {
+			m.SetPair(i, j, float64(countIJ[i][j])/T)
+		}
+	}
+	m.Clamp(1e-4)
+	res, err := Infer(m, InferOptions{Seed: 5, Tolerance: 0.05})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if acc := Accuracy(truth.Normalize(), res.Topology); acc < 0.5 {
+		t.Errorf("noisy accuracy = %v, inferred %v", acc, res.Topology)
+	}
+}
+
+// TestInferRandomTopologiesProperty checks the core promise of
+// Section 3.4 across randomly generated ground truths: inference from
+// exact pair-wise measurements reproduces the observed distributions,
+// and most of the time recovers the exact blueprint.
+func TestInferRandomTopologiesProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed inference sweep")
+	}
+	r := rng.New(2024)
+	var accSum float64
+	const cases = 30
+	for c := 0; c < cases; c++ {
+		n := 4 + r.Intn(5) // 4..8 clients
+		h := 1 + r.Intn(4) // 1..4 hidden terminals
+		truth := &Topology{N: n}
+		for k := 0; k < h; k++ {
+			var set ClientSet
+			for i := 0; i < n; i++ {
+				if r.Bool(0.35) {
+					set = set.Add(i)
+				}
+			}
+			if set.Empty() {
+				set = set.Add(r.Intn(n))
+			}
+			truth.HTs = append(truth.HTs, HiddenTerminal{
+				Q:       0.05 + 0.5*r.Float64(),
+				Clients: set,
+			})
+		}
+		truth = truth.Normalize()
+		res := inferExact(t, truth, InferOptions{Seed: uint64(c)})
+		accSum += Accuracy(truth, res.Topology)
+
+		// The induced distributions must match regardless of structure.
+		m := truth.Measure()
+		for i := 0; i < n; i++ {
+			if math.Abs(res.Topology.AccessProb(i)-m.P[i]) > 0.08 {
+				t.Errorf("case %d: inferred p(%d)=%v, truth %v (topo %v vs %v)",
+					c, i, res.Topology.AccessProb(i), m.P[i], res.Topology, truth)
+			}
+		}
+	}
+	if mean := accSum / cases; mean < 0.8 {
+		t.Errorf("mean exact-structure accuracy = %v, want >= 0.8", mean)
+	}
+}
+
+func TestTransformInverse(t *testing.T) {
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		if got := ProbFromQ(QFromProb(q)); math.Abs(got-q) > 1e-12 {
+			t.Errorf("ProbFromQ(QFromProb(%v)) = %v", q, got)
+		}
+	}
+}
+
+func TestTransformedConstraintsMatchTopology(t *testing.T) {
+	topo := fig1Topology()
+	tr := topo.Measure().Transform()
+	for i := 0; i < topo.N; i++ {
+		var sum float64
+		for _, ht := range topo.HTs {
+			if ht.Clients.Has(i) {
+				sum += QFromProb(ht.Q)
+			}
+		}
+		if math.Abs(sum-tr.PI[i]) > 1e-9 {
+			t.Errorf("PI[%d]: constraint sum %v != transformed %v", i, sum, tr.PI[i])
+		}
+		for j := i + 1; j < topo.N; j++ {
+			var pairSum float64
+			for _, ht := range topo.HTs {
+				if ht.Clients.Has(i) && ht.Clients.Has(j) {
+					pairSum += QFromProb(ht.Q)
+				}
+			}
+			if math.Abs(pairSum-tr.PIJ(i, j)) > 1e-9 {
+				t.Errorf("PIJ[%d,%d]: %v != %v", i, j, pairSum, tr.PIJ(i, j))
+			}
+		}
+	}
+}
+
+func TestMeasurementsClamp(t *testing.T) {
+	m := NewMeasurements(2)
+	m.P[0], m.P[1] = 0.8, 0.6
+	m.SetPair(0, 1, 0.95) // impossible: above min(p0, p1)
+	m.Clamp(1e-6)
+	if got := m.Pair(0, 1); got != 0.6 {
+		t.Errorf("clamped pair = %v, want 0.6", got)
+	}
+	m.SetPair(0, 1, 0.1) // below independence
+	m.Clamp(1e-6)
+	if got := m.Pair(0, 1); math.Abs(got-0.48) > 1e-12 {
+		t.Errorf("clamped pair = %v, want 0.48", got)
+	}
+	if err := m.Validate(1e-9); err != nil {
+		t.Errorf("clamped measurements invalid: %v", err)
+	}
+}

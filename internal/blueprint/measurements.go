@@ -1,0 +1,224 @@
+package blueprint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Measurements holds the client access distributions the measurement
+// phase produces: individual p(i) and pair-wise p(i,j) access
+// probabilities. This is the only input BLU's topology inference needs
+// (Section 3.3) — its size is O(N²) regardless of the MU-MIMO order M.
+type Measurements struct {
+	// N is the number of clients.
+	N int
+	// P[i] is p(i), the probability client i passes CCA.
+	P []float64
+	// pair is the upper-triangular p(i,j) matrix, row-major.
+	pair []float64
+	// triples holds optional third-order joint access probabilities
+	// p(i,j,k), keyed by packed sorted indices. The paper's §3.5
+	// prescribes them for skewed topologies (many more hidden terminals
+	// than clients), where pair-wise constraints alone leave multiple
+	// feasible blueprints.
+	triples map[uint32]float64
+}
+
+// NewMeasurements returns zeroed measurements for n clients.
+func NewMeasurements(n int) *Measurements {
+	return &Measurements{
+		N:    n,
+		P:    make([]float64, n),
+		pair: make([]float64, n*n),
+	}
+}
+
+// Pair returns p(i,j) (symmetric; Pair(i,i) returns P[i]).
+func (m *Measurements) Pair(i, j int) float64 {
+	if i == j {
+		return m.P[i]
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.pair[i*m.N+j]
+}
+
+// SetPair records p(i,j) for i ≠ j.
+func (m *Measurements) SetPair(i, j int, p float64) {
+	if i == j {
+		m.P[i] = p
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	m.pair[i*m.N+j] = p
+}
+
+// tripleKey packs sorted client indices into a map key.
+func tripleKey(i, j, k int) uint32 {
+	if i > j {
+		i, j = j, i
+	}
+	if j > k {
+		j, k = k, j
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return uint32(i)<<12 | uint32(j)<<6 | uint32(k)
+}
+
+// SetTriple records the third-order joint access probability p(i,j,k)
+// for three distinct clients.
+func (m *Measurements) SetTriple(i, j, k int, p float64) {
+	if i == j || j == k || i == k {
+		return
+	}
+	if m.triples == nil {
+		m.triples = make(map[uint32]float64)
+	}
+	m.triples[tripleKey(i, j, k)] = p
+}
+
+// Triple returns p(i,j,k) and whether it was measured.
+func (m *Measurements) Triple(i, j, k int) (float64, bool) {
+	p, ok := m.triples[tripleKey(i, j, k)]
+	return p, ok
+}
+
+// NumTriples returns how many third-order measurements are present.
+func (m *Measurements) NumTriples() int { return len(m.triples) }
+
+// Validate checks that probabilities are in range and mutually
+// consistent with a non-negative-correlation interference model:
+// p(i,j) must lie in (0, 1] bounds and p(i,j) <= min(p(i), p(j)), and
+// p(i,j) >= p(i)·p(j) (shared hidden terminals can only correlate
+// accesses positively). Small violations arise from sampling noise, so
+// tolerance tol is applied.
+func (m *Measurements) Validate(tol float64) error {
+	for i := 0; i < m.N; i++ {
+		if m.P[i] < 0 || m.P[i] > 1 {
+			return fmt.Errorf("blueprint: p(%d)=%v outside [0,1]", i, m.P[i])
+		}
+		for j := i + 1; j < m.N; j++ {
+			pij := m.Pair(i, j)
+			if pij < 0 || pij > 1 {
+				return fmt.Errorf("blueprint: p(%d,%d)=%v outside [0,1]", i, j, pij)
+			}
+			if pij > math.Min(m.P[i], m.P[j])+tol {
+				return fmt.Errorf("blueprint: p(%d,%d)=%v exceeds min(p_i,p_j)=%v",
+					i, j, pij, math.Min(m.P[i], m.P[j]))
+			}
+			if pij < m.P[i]*m.P[j]-tol {
+				return fmt.Errorf("blueprint: p(%d,%d)=%v below independent product %v",
+					i, j, pij, m.P[i]*m.P[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Clamp coerces measurements into the consistent region checked by
+// Validate, repairing small sampling-noise violations in place:
+// probabilities are clamped to [floor, 1], and each pair to
+// [p(i)p(j), min(p(i), p(j))]. floor keeps −log transforms finite.
+func (m *Measurements) Clamp(floor float64) {
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	for i := range m.P {
+		m.P[i] = clampF(m.P[i], floor, 1)
+	}
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			lo := m.P[i] * m.P[j]
+			hi := math.Min(m.P[i], m.P[j])
+			m.SetPair(i, j, clampF(m.Pair(i, j), lo, hi))
+		}
+	}
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Transformed is the −log domain of Section 3.4.1, in which the
+// constraint system (Eqn 6) is linear:
+//
+//	PI[i]     = −log p(i)            = Σ_{k: z_ik} Q(k)
+//	PIJ[i][j] = −log(p(i)p(j)/p(i,j)) = Σ_{k: z_ik ∧ z_jk} Q(k)
+//
+// with Q(k) = −log(1 − q(k)).
+type Transformed struct {
+	N   int
+	PI  []float64
+	pij []float64
+	// T3 are the optional transformed triple constraints
+	// Σ_{k: z_ik ∧ z_jk ∧ z_lk} Q(k) (see TripleConstraint).
+	T3 []TripleConstraint
+}
+
+// TripleConstraint is a transformed third-order constraint: the summed
+// access of hidden terminals adjacent to all three clients. It follows
+// from inclusion–exclusion over the union of interferer sets:
+//
+//	Σ_{adj all} Q = −log p(i,j,l) − P(i) − P(j) − P(l)
+//	               + P(i,j) + P(i,l) + P(j,l)
+type TripleConstraint struct {
+	Clients ClientSet // exactly three members
+	Target  float64
+}
+
+// Transform maps measurements into the −log constraint domain.
+// Measurements should be clamped first so logs stay finite.
+func (m *Measurements) Transform() *Transformed {
+	t := &Transformed{N: m.N, PI: make([]float64, m.N), pij: make([]float64, m.N*m.N)}
+	for i := 0; i < m.N; i++ {
+		t.PI[i] = -math.Log(m.P[i])
+		for j := i + 1; j < m.N; j++ {
+			v := -math.Log(m.P[i] * m.P[j] / m.Pair(i, j))
+			if v < 0 {
+				v = 0 // sampling noise can drive p(i,j) slightly below independence
+			}
+			t.pij[i*m.N+j] = v
+		}
+	}
+	for key, p := range m.triples {
+		if p <= 0 {
+			continue
+		}
+		i, j, k := int(key>>12&0x3F), int(key>>6&0x3F), int(key&0x3F)
+		v := -math.Log(p) - t.PI[i] - t.PI[j] - t.PI[k] +
+			t.PIJ(i, j) + t.PIJ(i, k) + t.PIJ(j, k)
+		if v < 0 {
+			v = 0
+		}
+		t.T3 = append(t.T3, TripleConstraint{Clients: NewClientSet(i, j, k), Target: v})
+	}
+	// Stable order for deterministic inference.
+	sort.Slice(t.T3, func(a, b int) bool { return t.T3[a].Clients < t.T3[b].Clients })
+	return t
+}
+
+// PIJ returns the transformed pair constraint for i ≠ j.
+func (t *Transformed) PIJ(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	return t.pij[i*t.N+j]
+}
+
+// QFromProb returns Q(k) = −log(1 − q).
+func QFromProb(q float64) float64 { return -math.Log(1 - q) }
+
+// ProbFromQ inverts QFromProb: q = 1 − exp(−Q).
+func ProbFromQ(Q float64) float64 { return 1 - math.Exp(-Q) }

@@ -1,0 +1,90 @@
+package blueprint
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxClients is the largest number of clients a ClientSet can hold.
+const MaxClients = 64
+
+// ClientSet is a set of client (UE) indices in [0, 64), stored as a
+// bitmask. The zero value is the empty set.
+type ClientSet uint64
+
+// NewClientSet returns the set containing the given client indices.
+func NewClientSet(clients ...int) ClientSet {
+	var s ClientSet
+	for _, c := range clients {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// Add returns s with client i included. It panics if i is out of range.
+func (s ClientSet) Add(i int) ClientSet {
+	if i < 0 || i >= MaxClients {
+		panic(fmt.Sprintf("blueprint: client index %d out of range [0,%d)", i, MaxClients))
+	}
+	return s | 1<<uint(i)
+}
+
+// Remove returns s with client i excluded.
+func (s ClientSet) Remove(i int) ClientSet { return s &^ (1 << uint(i)) }
+
+// Has reports whether client i is in the set.
+func (s ClientSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Count returns the number of clients in the set.
+func (s ClientSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no members.
+func (s ClientSet) Empty() bool { return s == 0 }
+
+// Union returns s ∪ t.
+func (s ClientSet) Union(t ClientSet) ClientSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s ClientSet) Intersect(t ClientSet) ClientSet { return s & t }
+
+// Minus returns s \ t.
+func (s ClientSet) Minus(t ClientSet) ClientSet { return s &^ t }
+
+// Contains reports whether every member of t is also in s.
+func (s ClientSet) Contains(t ClientSet) bool { return t&^s == 0 }
+
+// Members returns the client indices in ascending order.
+func (s ClientSet) Members() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &= v - 1
+	}
+	return out
+}
+
+// ForEach calls fn for each member in ascending order.
+func (s ClientSet) ForEach(fn func(i int)) {
+	for v := uint64(s); v != 0; {
+		fn(bits.TrailingZeros64(v))
+		v &= v - 1
+	}
+}
+
+// String formats the set as "{0,3,7}".
+func (s ClientSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package blueprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClientSetBasics(t *testing.T) {
+	s := NewClientSet(0, 3, 7)
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	for _, i := range []int{0, 3, 7} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{1, 2, 6, 63} {
+		if s.Has(i) {
+			t.Errorf("Has(%d) = true, want false", i)
+		}
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Count() != 2 {
+		t.Fatalf("after Remove(3): %v", s)
+	}
+	if got := s.String(); got != "{0,7}" {
+		t.Errorf("String = %q, want {0,7}", got)
+	}
+}
+
+func TestClientSetAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(64) did not panic")
+		}
+	}()
+	NewClientSet(64)
+}
+
+func TestClientSetAlgebra(t *testing.T) {
+	a := NewClientSet(0, 1, 2)
+	b := NewClientSet(2, 3)
+	if got := a.Union(b); got != NewClientSet(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewClientSet(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != NewClientSet(0, 1) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !a.Contains(NewClientSet(0, 2)) {
+		t.Error("Contains subset = false")
+	}
+	if a.Contains(b) {
+		t.Error("Contains non-subset = true")
+	}
+}
+
+func TestClientSetMembersRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := ClientSet(raw)
+		var rebuilt ClientSet
+		for _, i := range s.Members() {
+			rebuilt = rebuilt.Add(i)
+		}
+		return rebuilt == s && len(s.Members()) == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientSetForEachOrder(t *testing.T) {
+	s := NewClientSet(5, 1, 9)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{1, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}

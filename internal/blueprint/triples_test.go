@@ -1,0 +1,115 @@
+package blueprint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTripleSetGet(t *testing.T) {
+	m := NewMeasurements(5)
+	m.SetTriple(3, 1, 4, 0.25)
+	// Order-insensitive.
+	for _, perm := range [][3]int{{1, 3, 4}, {4, 3, 1}, {3, 4, 1}} {
+		p, ok := m.Triple(perm[0], perm[1], perm[2])
+		if !ok || p != 0.25 {
+			t.Errorf("Triple(%v) = %v, %v", perm, p, ok)
+		}
+	}
+	if _, ok := m.Triple(0, 1, 2); ok {
+		t.Error("unmeasured triple reported as present")
+	}
+	m.SetTriple(1, 1, 2, 0.5) // degenerate: ignored
+	if m.NumTriples() != 1 {
+		t.Errorf("NumTriples = %d", m.NumTriples())
+	}
+}
+
+func TestTripleTransformMatchesTopology(t *testing.T) {
+	// The transformed triple constraint must equal the summed Q of
+	// terminals adjacent to all three clients.
+	topo := &Topology{N: 4, HTs: []HiddenTerminal{
+		{Q: 0.3, Clients: NewClientSet(0, 1, 2)},
+		{Q: 0.2, Clients: NewClientSet(1, 2, 3)},
+		{Q: 0.4, Clients: NewClientSet(0, 1, 2, 3)},
+		{Q: 0.1, Clients: NewClientSet(0)},
+	}}
+	m := topo.Measure()
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			for k := j + 1; k < 4; k++ {
+				m.SetTriple(i, j, k, topo.ClearProb(NewClientSet(i, j, k)))
+			}
+		}
+	}
+	tr := m.Transform()
+	if len(tr.T3) != 4 {
+		t.Fatalf("%d triple constraints, want 4", len(tr.T3))
+	}
+	for _, t3 := range tr.T3 {
+		var want float64
+		for _, ht := range topo.HTs {
+			if ht.Clients.Contains(t3.Clients) {
+				want += QFromProb(ht.Q)
+			}
+		}
+		if math.Abs(t3.Target-want) > 1e-9 {
+			t.Errorf("triple %v target %v, want %v", t3.Clients, t3.Target, want)
+		}
+	}
+}
+
+func TestResidualIncludesTriples(t *testing.T) {
+	topo := &Topology{N: 3, HTs: []HiddenTerminal{
+		{Q: 0.3, Clients: NewClientSet(0, 1, 2)},
+	}}
+	m := topo.Measure()
+	m.SetTriple(0, 1, 2, topo.ClearProb(NewClientSet(0, 1, 2)))
+	tr := m.Transform()
+	if tot, mx := Residual(tr, topo); tot > 1e-9 || mx > 1e-9 {
+		t.Errorf("exact topology has residual %v/%v with triples", tot, mx)
+	}
+	// A wrong topology that satisfies pairs but not the triple: replace
+	// the triangle terminal with three pair terminals of equal Q... the
+	// individuals then break, so instead drop the triple edge to client
+	// 2 and compensate — any structural change must raise the residual.
+	wrong := &Topology{N: 3, HTs: []HiddenTerminal{
+		{Q: 0.3, Clients: NewClientSet(0, 1)},
+		{Q: 0.3, Clients: NewClientSet(2)},
+	}}
+	if tot, _ := Residual(tr, wrong); tot <= 1e-9 {
+		t.Error("structurally wrong topology has zero residual")
+	}
+}
+
+// TestTriplesResolveAmbiguity builds the canonical ambiguous instance:
+// distinguishing a three-client terminal plus extras is impossible from
+// some pair-wise views but trivial with the triple constraint.
+func TestTriplesResolveAmbiguity(t *testing.T) {
+	// Dense skewed truth over 5 clients.
+	truth := &Topology{N: 5, HTs: []HiddenTerminal{
+		{Q: 0.35, Clients: NewClientSet(0, 1, 2)},
+		{Q: 0.25, Clients: NewClientSet(1, 2, 3)},
+		{Q: 0.30, Clients: NewClientSet(2, 3, 4)},
+		{Q: 0.20, Clients: NewClientSet(0, 2, 4)},
+		{Q: 0.15, Clients: NewClientSet(0, 3)},
+		{Q: 0.40, Clients: NewClientSet(1, 4)},
+	}}
+	m := truth.Measure()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			for k := j + 1; k < 5; k++ {
+				m.SetTriple(i, j, k, truth.ClearProb(NewClientSet(i, j, k)))
+			}
+		}
+	}
+	inf, err := Infer(m, InferOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(truth, inf.Topology); acc < 1 {
+		t.Errorf("triple-constrained accuracy = %v (inferred %v)", acc, inf.Topology)
+	}
+	if !inf.Converged {
+		t.Errorf("not converged: max violation %v", inf.MaxViolation)
+	}
+}

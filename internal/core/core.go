@@ -1,0 +1,379 @@
+// Package core is BLU's eNB-side controller (Fig 9): it alternates a
+// short measurement phase — scheduling clients per Algorithm 1 to
+// estimate pair-wise access distributions — with a long speculative
+// phase in which it blue-prints the interference topology, derives the
+// joint access distributions from it, and runs the speculative
+// scheduler. Speculative-phase outcomes keep feeding the estimator, so
+// later measurement phases shrink or disappear (Section 3.7).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"blu/internal/access"
+	"blu/internal/blueprint"
+	"blu/internal/joint"
+	"blu/internal/lte"
+	"blu/internal/sched"
+	"blu/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// T is the number of samples wanted per client pair in a
+	// measurement phase (default 50, the paper's choice).
+	T int
+	// L is the speculative-phase length in subframes (default 5000;
+	// the paper picks L ≫ t_max, several thousand subframes).
+	L int
+	// OverFactor is the speculative scheduler's f (default 2).
+	OverFactor float64
+	// InferOptions tunes topology inference; zero values use the
+	// blueprint defaults.
+	InferOptions blueprint.InferOptions
+	// RefreshThreshold re-runs a measurement phase at the start of a
+	// cycle for any pair with fewer than this many samples (default T).
+	RefreshThreshold int
+	// DriftThreshold triggers a full re-measurement (estimator reset +
+	// fresh measurement phase) when a speculative phase's observed
+	// per-client access rates diverge from the rates measured when its
+	// blueprint was built by more than this amount — the §3.5 response
+	// to client/terminal mobility breaking stationarity (default 0.25;
+	// set negative to disable).
+	DriftThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.T <= 0 {
+		c.T = 50
+	}
+	if c.L <= 0 {
+		c.L = 5000
+	}
+	if c.OverFactor <= 0 {
+		c.OverFactor = 2
+	}
+	if c.RefreshThreshold <= 0 {
+		c.RefreshThreshold = c.T
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.25
+	}
+	return c
+}
+
+// PhaseKind labels the controller's operating phases.
+type PhaseKind int
+
+// Phase kinds.
+const (
+	PhaseMeasurement PhaseKind = iota
+	PhaseSpeculative
+)
+
+// String implements fmt.Stringer.
+func (p PhaseKind) String() string {
+	if p == PhaseMeasurement {
+		return "measurement"
+	}
+	return "speculative"
+}
+
+// Phase summarizes one completed phase.
+type Phase struct {
+	Kind      PhaseKind
+	Subframes int
+	// Metrics is the phase's scheduler metrics (both phases carry data).
+	Metrics *sim.Metrics
+	// Inferred is the blueprint produced at the start of a speculative
+	// phase (nil for measurement phases).
+	Inferred *blueprint.Topology
+	// InferenceAccuracy scores Inferred against the ground truth in
+	// force when the phase started.
+	InferenceAccuracy float64
+	// Drift is the max |observed − predicted| access-rate divergence
+	// seen during a speculative phase; DriftDetected marks phases whose
+	// divergence triggered a re-measurement.
+	Drift         float64
+	DriftDetected bool
+}
+
+// Report is the outcome of a full controller run.
+type Report struct {
+	Phases []Phase
+	// MeasurementSubframes and SpeculativeSubframes split the horizon.
+	MeasurementSubframes, SpeculativeSubframes int
+	// Speculative aggregates delivered bits and utilization over all
+	// speculative subframes (the paper's headline numbers exclude the
+	// measurement overhead, which is why keeping t_max ≪ L matters).
+	Speculative *sim.Metrics
+	// FinalTopology is the last inferred blueprint.
+	FinalTopology *blueprint.Topology
+}
+
+// System is BLU's controller bound to one simulated cell.
+type System struct {
+	cfg       Config
+	cell      *sim.Cell
+	estimator *access.Estimator
+	spec      *sched.Speculative
+
+	// Per-speculative-phase observation counters for drift detection.
+	recentSched, recentAccess []int
+}
+
+// NewSystem builds the controller for a cell.
+func NewSystem(cfg Config, cell *sim.Cell) (*System, error) {
+	if cell == nil {
+		return nil, errors.New("core: cell is required")
+	}
+	cfg = cfg.withDefaults()
+	spec, err := sched.NewSpeculative(cell.Env(), &joint.Independent{P: ones(cell.NumUE())})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	spec.OverFactor = cfg.OverFactor
+	return &System{
+		cfg:          cfg,
+		cell:         cell,
+		estimator:    access.NewEstimator(cell.NumUE()),
+		spec:         spec,
+		recentSched:  make([]int, cell.NumUE()),
+		recentAccess: make([]int, cell.NumUE()),
+	}, nil
+}
+
+func ones(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+// Run alternates measurement and speculative phases over the cell's
+// whole horizon and returns the report.
+func (s *System) Run() (*Report, error) {
+	rep := &Report{Speculative: &sim.Metrics{
+		Scheduler: s.spec.Name(),
+		BitsPerUE: make([]float64, s.cell.NumUE()),
+		Outcomes:  make(map[lte.Outcome]int),
+	}}
+	sf := 0
+	horizon := s.cell.Subframes()
+	for sf < horizon {
+		// Measurement phase, sized by what the estimator still needs.
+		msf, err := s.measurementPhase(sf, horizon)
+		if err != nil {
+			return nil, err
+		}
+		if msf > 0 {
+			rep.Phases = append(rep.Phases, Phase{Kind: PhaseMeasurement, Subframes: msf})
+			rep.MeasurementSubframes += msf
+			sf += msf
+		}
+		if sf >= horizon {
+			break
+		}
+
+		// Blueprint and reconfigure the speculative scheduler.
+		res, err := blueprint.Infer(s.estimator.Measurements(), s.cfg.InferOptions)
+		if err != nil {
+			return nil, fmt.Errorf("core: inference: %w", err)
+		}
+		s.spec.SetDistribution(joint.NewCalculator(res.Topology))
+		rep.FinalTopology = res.Topology
+		truth := s.cell.GroundTruthAt(sf)
+		baseline := append([]float64(nil), s.estimator.Measurements().P...)
+
+		// Speculative phase, with drift tracking for §3.5 dynamics.
+		s.resetRecent()
+		end := sf + s.cfg.L
+		if end > horizon {
+			end = horizon
+		}
+		metrics := sim.Run(s.cell, s.spec, sf, end, func(_ int, schedule *lte.Schedule, results []lte.RBResult) {
+			s.recordObservation(schedule, results)
+		})
+		drift := s.drift(baseline)
+		detected := s.cfg.DriftThreshold > 0 && drift > s.cfg.DriftThreshold
+		if detected {
+			// Stationarity broke (mobility, traffic change): discard
+			// stale statistics so the next cycle re-measures.
+			s.estimator.Reset()
+		}
+		rep.Phases = append(rep.Phases, Phase{
+			Kind:              PhaseSpeculative,
+			Subframes:         metrics.Subframes,
+			Metrics:           metrics,
+			Inferred:          res.Topology,
+			InferenceAccuracy: blueprint.Accuracy(truth, res.Topology),
+			Drift:             drift,
+			DriftDetected:     detected,
+		})
+		rep.SpeculativeSubframes += metrics.Subframes
+		accumulate(rep.Speculative, metrics)
+		sf = end
+	}
+	finalizeAggregate(rep.Speculative)
+	return rep, nil
+}
+
+func (s *System) resetRecent() {
+	for i := range s.recentSched {
+		s.recentSched[i], s.recentAccess[i] = 0, 0
+	}
+}
+
+// drift returns the largest divergence between a client's observed
+// access rate in the last speculative phase and its access probability
+// as measured when the phase's blueprint was built, over clients with
+// enough observations to judge.
+func (s *System) drift(baseline []float64) float64 {
+	const minObs = 300
+	var worst float64
+	for i := range s.recentSched {
+		if s.recentSched[i] < minObs {
+			continue
+		}
+		observed := float64(s.recentAccess[i]) / float64(s.recentSched[i])
+		if d := abs(observed - baseline[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// measurementPhase runs Algorithm 1 scheduling from subframe start until
+// every pair has RefreshThreshold samples, returning subframes consumed.
+// On the first cycle this is ≈ t_max; later cycles are much shorter
+// because speculative subframes already contributed samples.
+func (s *System) measurementPhase(start, horizon int) (int, error) {
+	n := s.cell.NumUE()
+	if n < 2 {
+		return 0, nil
+	}
+	need := false
+	for i := 0; i < n && !need; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.estimator.Samples(i, j) < s.cfg.RefreshThreshold {
+				need = true
+				break
+			}
+		}
+	}
+	if !need {
+		return 0, nil
+	}
+	env := s.cell.Env()
+	plan, err := access.BuildPlan(access.PlanOptions{N: n, K: env.K, T: s.cfg.T})
+	if err != nil {
+		return 0, fmt.Errorf("core: measurement plan: %w", err)
+	}
+	used := 0
+	for _, clients := range plan.Subframes {
+		sf := start + used
+		if sf >= horizon {
+			break
+		}
+		schedule := measurementSchedule(clients, env.NumRB)
+		results := s.cell.Step(sf, schedule)
+		s.recordObservation(schedule, results)
+		used++
+		// Data still flows during measurement subframes; it is simply
+		// not optimized for utility, so we do not count its metrics in
+		// the speculative aggregate.
+	}
+	return used, nil
+}
+
+// measurementSchedule spreads the phase's clients round-robin over the
+// RB units: the schedule is optimized for observation, not throughput.
+func measurementSchedule(clients []int, numRB int) *lte.Schedule {
+	sch := lte.NewSchedule(numRB)
+	if len(clients) == 0 {
+		return sch
+	}
+	for b := 0; b < numRB; b++ {
+		sch.RB[b] = []int{clients[b%len(clients)]}
+	}
+	return sch
+}
+
+// recordObservation feeds one subframe's outcome into the estimator:
+// every distinct scheduled client is an observation, and a client
+// counts as having accessed iff the eNB received its pilot anywhere
+// (any outcome other than blocked, Section 3.3).
+func (s *System) recordObservation(_ *lte.Schedule, results []lte.RBResult) {
+	if results == nil {
+		return // eNB's own LBT deferred: no client CCA was observed
+	}
+	var scheduled []int
+	seen := make(map[int]bool)
+	var accessed blueprint.ClientSet
+	for _, res := range results {
+		for i, ue := range res.Scheduled {
+			if !seen[ue] {
+				seen[ue] = true
+				scheduled = append(scheduled, ue)
+			}
+			if res.Outcomes[i] != lte.OutcomeBlocked {
+				accessed = accessed.Add(ue)
+			}
+		}
+	}
+	if len(scheduled) > 0 {
+		s.estimator.Record(scheduled, accessed)
+		for _, ue := range scheduled {
+			s.recentSched[ue]++
+			if accessed.Has(ue) {
+				s.recentAccess[ue]++
+			}
+		}
+	}
+}
+
+// Estimator exposes the live access estimator (for inspection and
+// tests).
+func (s *System) Estimator() *access.Estimator { return s.estimator }
+
+// Scheduler exposes the speculative scheduler in use.
+func (s *System) Scheduler() *sched.Speculative { return s.spec }
+
+func accumulate(dst, src *sim.Metrics) {
+	w := float64(src.Subframes)
+	dst.TotalBits += src.TotalBits
+	dst.RBUtilization = weightedMerge(dst.RBUtilization, float64(dst.Subframes), src.RBUtilization, w)
+	dst.DoFUtilization = weightedMerge(dst.DoFUtilization, float64(dst.Subframes), src.DoFUtilization, w)
+	dst.FullyUtilizedSubframes = weightedMerge(dst.FullyUtilizedSubframes, float64(dst.Subframes), src.FullyUtilizedSubframes, w)
+	dst.Subframes += src.Subframes
+	dst.ENBDeferrals += src.ENBDeferrals
+	for i := range src.BitsPerUE {
+		dst.BitsPerUE[i] += src.BitsPerUE[i]
+	}
+	for k, v := range src.Outcomes {
+		dst.Outcomes[k] += v
+	}
+}
+
+func weightedMerge(a, wa, b, wb float64) float64 {
+	if wa+wb == 0 {
+		return 0
+	}
+	return (a*wa + b*wb) / (wa + wb)
+}
+
+func finalizeAggregate(m *sim.Metrics) {
+	if m.Subframes > 0 {
+		m.ThroughputMbps = m.TotalBits / (float64(m.Subframes) * 1000)
+	}
+	m.JainFairness = sim.JainIndex(m.BitsPerUE)
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllExperimentsSmallScale runs every registered experiment at a
+// reduced scale and prints the tables; it asserts only structural
+// sanity (non-empty tables), the shape checks live in EXPERIMENTS.md
+// and the targeted tests below.
+func TestAllExperimentsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Registry()[id](Options{Seed: 3, Scale: 0.05})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			tbl.Fprint(os.Stderr)
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import "testing"
+
+// Shape tests for the extension experiments (paper-described, not
+// paper-evaluated; see EXPERIMENTS.md).
+
+func TestDLShapeAccessAwareCutsCollisions(t *testing.T) {
+	tbl, err := DL(Options{Seed: 9, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		pfColl := cell(t, tbl, r, 4)
+		aaColl := cell(t, tbl, r, 5)
+		if aaColl > pfColl+1e-9 {
+			t.Errorf("row %d: AA collision rate %v above PF %v", r, aaColl, pfColl)
+		}
+		if gain := cell(t, tbl, r, 3); gain < 0.98 {
+			t.Errorf("row %d: AA DL gain %v below PF", r, gain)
+		}
+	}
+}
+
+func TestSkewedShapeTriplesRecoverAccuracy(t *testing.T) {
+	tbl, err := Skewed(Options{Seed: 9, Scale: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tbl.Rows) - 1
+	pairAcc := cell(t, tbl, last, 2)
+	tripleAcc := cell(t, tbl, last, 3)
+	if tripleAcc < pairAcc-1e-9 {
+		t.Errorf("triples made accuracy worse: %v -> %v", pairAcc, tripleAcc)
+	}
+	if tripleAcc < 0.95 {
+		t.Errorf("triple-constrained accuracy %v on the densest case", tripleAcc)
+	}
+}
+
+func TestNOMAShapeRecoversCollisions(t *testing.T) {
+	tbl, err := NOMA(Options{Seed: 9, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		// Rows with few collisions to recover are noise-dominated, so
+		// allow a small dip below parity.
+		if gain := cell(t, tbl, r, 3); gain < 0.95 {
+			t.Errorf("row %d: NOMA gain %v well below parity", r, gain)
+		}
+		omaColl := cell(t, tbl, r, 4)
+		nomaColl := cell(t, tbl, r, 5)
+		if nomaColl > omaColl {
+			t.Errorf("row %d: NOMA collisions %v above orthogonal %v", r, nomaColl, omaColl)
+		}
+	}
+}
+
+func TestFairnessShapePFUtilityPreserved(t *testing.T) {
+	tbl, err := Fairness(Options{Seed: 9, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		pfU := cell(t, tbl, r, 3)
+		bluU := cell(t, tbl, r, 4)
+		// BLU must achieve at least ~the PF scheduler's own PF
+		// objective (a small tolerance absorbs phase-boundary noise).
+		if bluU < pfU-2 {
+			t.Errorf("row %d: BLU log-utility %v well below PF's %v", r, bluU, pfU)
+		}
+	}
+}
+
+func TestFractionalShapeGracefulDegradation(t *testing.T) {
+	tbl, err := Fractional(Options{Seed: 9, Scale: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact binary edges must infer perfectly; fractional edges may
+	// cost structure accuracy but the induced access-probability error
+	// the scheduler consumes stays small (the §3.5 claim).
+	if acc := cell(t, tbl, 0, 2); acc < 0.99 {
+		t.Errorf("binary-edge accuracy = %v", acc)
+	}
+	for r := range tbl.Rows {
+		if perr := cell(t, tbl, r, 3); perr > 0.08 {
+			t.Errorf("row %d: induced p error %v too large", r, perr)
+		}
+	}
+}

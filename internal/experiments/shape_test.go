@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The shape tests assert the qualitative claims each paper figure
+// makes, at reduced scale (absolute values are recorded at full scale
+// in EXPERIMENTS.md).
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestFig4aShapeLossGrowsWithHTs(t *testing.T) {
+	tbl, err := Fig4a(Options{Seed: 11, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tbl, 0, 2)              // 0 hidden terminals
+	last := cell(t, tbl, len(tbl.Rows)-1, 2) // most hidden terminals
+	if first > 10 {
+		t.Errorf("loss with no hidden terminals = %v%%", first)
+	}
+	if last < 50 {
+		t.Errorf("loss with many hidden terminals = %v%%, paper reports >50%%", last)
+	}
+}
+
+func TestFig4bShapeFullOccupancyCollapses(t *testing.T) {
+	tbl, err := Fig4b(Options{Seed: 11, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 2; col++ {
+		first := cell(t, tbl, 0, col)
+		last := cell(t, tbl, len(tbl.Rows)-1, col)
+		if first < 0.8 {
+			t.Errorf("col %d: full occupancy %v with no interference", col, first)
+		}
+		if last > first/2 {
+			t.Errorf("col %d: occupancy did not collapse (%v -> %v)", col, first, last)
+		}
+	}
+}
+
+func TestFig4cShapeLTEAtLeastTwiceWiFi(t *testing.T) {
+	tbl, err := Fig4c(Options{Seed: 11, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := cell(t, tbl, 0, 3); ratio < 2 {
+		t.Errorf("LTE/WiFi unsensed-interferer ratio = %v, paper reports >2x", ratio)
+	}
+}
+
+func TestFig10ShapeGainGrowsWithDensity(t *testing.T) {
+	tbl, err := Fig10(Options{Seed: 11, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastGain := cell(t, tbl, len(tbl.Rows)-1, 3)
+	firstGain := cell(t, tbl, 0, 3)
+	if lastGain < 1.3 {
+		t.Errorf("gain at highest density = %v, paper reports 1.5-1.8x", lastGain)
+	}
+	if lastGain < firstGain {
+		t.Errorf("gain shrank with density: %v -> %v", firstGain, lastGain)
+	}
+}
+
+func TestFig14aShapeHighAccuracy(t *testing.T) {
+	tbl, err := Fig14a(Options{Seed: 11, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		if med := cell(t, tbl, r, 2); med < 0.9 {
+			t.Errorf("row %d: median accuracy %v, paper reports ~1.0", r, med)
+		}
+	}
+}
+
+func TestFig15ShapeBLUWins(t *testing.T) {
+	tbl, err := Fig15(Options{Seed: 11, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bluGain := cell(t, tbl, 2, 2)
+	aaGain := cell(t, tbl, 1, 2)
+	if bluGain < 1.4 {
+		t.Errorf("BLU gain %v, paper reports ~1.8x", bluGain)
+	}
+	if bluGain < aaGain {
+		t.Errorf("BLU (%v) did not beat AA (%v)", bluGain, aaGain)
+	}
+}
+
+func TestFig18ShapeBLUUtilization(t *testing.T) {
+	tbl, err := Fig18(Options{Seed: 11, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		pf := cell(t, tbl, r, 1)
+		blu := cell(t, tbl, r, 3)
+		if blu <= pf {
+			t.Errorf("row %d: BLU utilization %v did not beat PF %v", r, blu, pf)
+		}
+	}
+	// SISO: paper reports BLU roughly doubling PF.
+	if gain := cell(t, tbl, 0, 4); gain < 1.5 {
+		t.Errorf("SISO utilization gain = %v, paper reports ~2x", gain)
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	tbl, err := Overhead(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		ratio := cell(t, tbl, r, 5)
+		if ratio < 1 || ratio > 2.5 {
+			t.Errorf("row %d: Alg-1/F_min ratio %v outside [1, 2.5]", r, ratio)
+		}
+		n, k := cell(t, tbl, r, 0), cell(t, tbl, r, 1)
+		fmin := cell(t, tbl, r, 3)
+		joint6 := cell(t, tbl, r, 6)
+		// The exponential blow-up only bites once the cell is larger
+		// than the per-subframe schedule (N > K).
+		if n > k+2 && joint6 > 0 && joint6 < 10*fmin {
+			t.Errorf("row %d: joint cost %v does not dwarf pairwise %v", r, joint6, fmin)
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	tbl, err := Ablation(Options{Seed: 1, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detAcc, detMS := cell(t, tbl, 0, 1), cell(t, tbl, 0, 3)
+	mcAcc, mcMS := cell(t, tbl, 1, 1), cell(t, tbl, 1, 3)
+	if detAcc < mcAcc-0.1 {
+		t.Errorf("deterministic accuracy %v well below MCMC %v", detAcc, mcAcc)
+	}
+	if detMS > mcMS {
+		t.Errorf("deterministic inference (%vms) slower than MCMC (%vms)", detMS, mcMS)
+	}
+}

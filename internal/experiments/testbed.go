@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"blu/internal/core"
+	"blu/internal/sched"
+	"blu/internal/sim"
+	"blu/internal/stats"
+)
+
+// testbedGains runs the testbed experiment of Section 4.1 for a given
+// antenna count: 4 UEs, a growing number of hidden terminals per UE,
+// multiple placements, PF versus the full BLU pipeline (measurement →
+// blueprint → speculative scheduling).
+func testbedGains(opts Options, m int, id, title string, utilization bool) (*Table, error) {
+	opts = opts.withDefaults()
+	cols := []string{"ht_per_ue", "pf_mbps", "blu_mbps", "throughput_gain"}
+	if utilization {
+		cols = []string{"ht_per_ue", "pf_rb_util", "blu_rb_util", "utilization_gain"}
+	}
+	t := &Table{ID: id, Title: title, Columns: cols,
+		Notes: []string{"shape: gain grows with hidden-terminal density; 1.5-2x at the high end"}}
+
+	const nUE = 4
+	sfs := opts.scaled(6000, 1200)
+	placements := opts.scaled(5, 2)
+	for _, hPerUE := range []int{1, 2, 3} {
+		var pfVals, bluVals []float64
+		for p := 0; p < placements; p++ {
+			seed := opts.Seed + uint64(hPerUE)*1000 + uint64(p)*13
+			cell, err := testbedCell(nUE, hPerUE*nUE, m, sfs, seed)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := sched.NewPF(cell.Env())
+			if err != nil {
+				return nil, err
+			}
+			pfm := sim.Run(cell, pf, 0, sfs, nil)
+
+			sys, err := core.NewSystem(core.Config{T: 40, L: sfs}, cell)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := sys.Run()
+			if err != nil {
+				return nil, err
+			}
+			if utilization {
+				pfVals = append(pfVals, pfm.RBUtilization)
+				bluVals = append(bluVals, rep.Speculative.RBUtilization)
+			} else {
+				pfVals = append(pfVals, pfm.ThroughputMbps)
+				bluVals = append(bluVals, rep.Speculative.ThroughputMbps)
+			}
+		}
+		pfMean, bluMean := stats.Mean(pfVals), stats.Mean(bluVals)
+		gain := 0.0
+		if pfMean > 0 {
+			gain = bluMean / pfMean
+		}
+		t.AddRow(hPerUE, pfMean, bluMean, gain)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Fig 10: BLU's SISO throughput gains over PF on the
+// testbed as hidden terminals per UE increase (paper: 50–80% gains).
+func Fig10(opts Options) (*Table, error) {
+	return testbedGains(opts, 1, "fig10", "BLU SISO throughput gains (testbed, 4 UEs)", false)
+}
+
+// Fig11 reproduces Fig 11: the 2-user MU-MIMO throughput gains.
+func Fig11(opts Options) (*Table, error) {
+	return testbedGains(opts, 2, "fig11", "BLU MU-MIMO (M=2) throughput gains (testbed, 4 UEs)", false)
+}
+
+// Fig12 reproduces Fig 12: BLU's SISO RB-utilization gains (paper: up
+// to ~80% utilization boost).
+func Fig12(opts Options) (*Table, error) {
+	return testbedGains(opts, 1, "fig12", "BLU SISO RB utilization gains (testbed, 4 UEs)", true)
+}
+
+// Fig13 reproduces Fig 13: the MU-MIMO RB-utilization comparison.
+func Fig13(opts Options) (*Table, error) {
+	return testbedGains(opts, 2, "fig13", "BLU MU-MIMO (M=2) RB utilization (testbed, 4 UEs)", true)
+}

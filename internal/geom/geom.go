@@ -1,0 +1,97 @@
+// Package geom provides 2-D geometry and node-placement generators for
+// the enterprise deployment scenarios the paper evaluates in.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"blu/internal/rng"
+)
+
+// Point is a position on the deployment floor, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// String formats the point as "(x, y)" with centimeter precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Floor describes the rectangular deployment area.
+type Floor struct {
+	Width, Height float64 // meters
+}
+
+// Contains reports whether p lies inside the floor (inclusive).
+func (f Floor) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= f.Width && p.Y >= 0 && p.Y <= f.Height
+}
+
+// Center returns the center of the floor.
+func (f Floor) Center() Point { return Point{f.Width / 2, f.Height / 2} }
+
+// UniformPlacement places n nodes uniformly at random on the floor.
+func UniformPlacement(f Floor, n int, r *rng.Source) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * f.Width, r.Float64() * f.Height}
+	}
+	return pts
+}
+
+// ClusteredPlacement places n nodes in nclusters Gaussian clusters whose
+// centers are uniform on the floor; spread is the cluster standard
+// deviation in meters. Positions are clamped to the floor. This mimics
+// hidden terminals grouped around neighboring WiFi cells.
+func ClusteredPlacement(f Floor, n, nclusters int, spread float64, r *rng.Source) []Point {
+	if nclusters < 1 {
+		nclusters = 1
+	}
+	centers := UniformPlacement(f, nclusters, r)
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[i%nclusters]
+		p := Point{
+			X: c.X + r.NormFloat64()*spread,
+			Y: c.Y + r.NormFloat64()*spread,
+		}
+		p.X = clamp(p.X, 0, f.Width)
+		p.Y = clamp(p.Y, 0, f.Height)
+		pts[i] = p
+	}
+	return pts
+}
+
+// RingPlacement places n nodes evenly on a circle of the given radius
+// around center, with angular jitter in radians. Used for the controlled
+// testbed-style topologies (UEs around an eNB).
+func RingPlacement(center Point, radius float64, n int, jitter float64, r *rng.Source) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		theta := 2*math.Pi*float64(i)/float64(n) + (r.Float64()-0.5)*2*jitter
+		pts[i] = Point{
+			X: center.X + radius*math.Cos(theta),
+			Y: center.Y + radius*math.Sin(theta),
+		}
+	}
+	return pts
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"blu/internal/rng"
+)
+
+func TestDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if d := a.Dist(b); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := a.Dist(a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if b.Dist(a) != a.Dist(b) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestFloorContains(t *testing.T) {
+	f := Floor{Width: 10, Height: 5}
+	for _, p := range []Point{{0, 0}, {10, 5}, {5, 2.5}} {
+		if !f.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {10.1, 0}, {5, 5.1}} {
+		if f.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+	if c := f.Center(); c.X != 5 || c.Y != 2.5 {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestUniformPlacementInsideFloor(t *testing.T) {
+	f := Floor{Width: 20, Height: 30}
+	pts := UniformPlacement(f, 500, rng.New(1))
+	if len(pts) != 500 {
+		t.Fatalf("placed %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("point %v outside floor", p)
+		}
+	}
+	// Coverage: both halves populated.
+	left := 0
+	for _, p := range pts {
+		if p.X < 10 {
+			left++
+		}
+	}
+	if left < 150 || left > 350 {
+		t.Errorf("left-half count %d suggests non-uniform placement", left)
+	}
+}
+
+func TestClusteredPlacement(t *testing.T) {
+	f := Floor{Width: 100, Height: 100}
+	pts := ClusteredPlacement(f, 60, 3, 2, rng.New(2))
+	if len(pts) != 60 {
+		t.Fatalf("placed %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("point %v outside floor", p)
+		}
+	}
+	// Points in the same cluster (i, i+3, i+6, ...) stay close.
+	var intra float64
+	n := 0
+	for i := 0; i+3 < 60; i++ {
+		intra += pts[i].Dist(pts[i+3])
+		n++
+	}
+	intra /= float64(n)
+	if intra > 12 { // spread 2m → intra-cluster distances a few meters
+		t.Errorf("mean intra-cluster distance %v too large", intra)
+	}
+}
+
+func TestClusteredPlacementDegenerateClusterCount(t *testing.T) {
+	f := Floor{Width: 10, Height: 10}
+	pts := ClusteredPlacement(f, 5, 0, 1, rng.New(3))
+	if len(pts) != 5 {
+		t.Fatalf("placed %d points", len(pts))
+	}
+}
+
+func TestRingPlacement(t *testing.T) {
+	center := Point{50, 50}
+	pts := RingPlacement(center, 10, 8, 0, rng.New(4))
+	if len(pts) != 8 {
+		t.Fatalf("placed %d points", len(pts))
+	}
+	for _, p := range pts {
+		if math.Abs(p.Dist(center)-10) > 1e-9 {
+			t.Errorf("point %v off the ring: d=%v", p, p.Dist(center))
+		}
+	}
+	// Neighbors roughly evenly spaced.
+	d01 := pts[0].Dist(pts[1])
+	d12 := pts[1].Dist(pts[2])
+	if math.Abs(d01-d12) > 1e-9 {
+		t.Errorf("uneven spacing without jitter: %v vs %v", d01, d12)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	p := Point{1, 2}.Add(3, -1)
+	if p.X != 4 || p.Y != 1 {
+		t.Errorf("Add = %v", p)
+	}
+}

@@ -1,0 +1,223 @@
+// Package joint computes higher-order joint client access distributions
+// P(U, V̄) — the probability that every client in U utilizes its grant
+// while every client in V is blocked — which BLU's speculative scheduler
+// consumes (Eqn 4).
+//
+// The package provides three sources for these distributions:
+//
+//   - Calculator derives them from an inferred interference blueprint by
+//     recursive topology conditioning, the paper's Section 3.6 method
+//     (Eqns 7–9). This is BLU's production path: it needs only the
+//     blueprint, which in turn needed only pair-wise measurements.
+//   - Empirical estimates them by counting joint access outcomes in
+//     recorded subframe traces. The paper uses this only to isolate
+//     scheduler performance with perfect knowledge (Fig 15) because its
+//     measurement cost scales exponentially with the group size.
+//   - Independent multiplies marginal access probabilities, the
+//     (incorrect under shared interferers) assumption the access-aware
+//     baseline scheduler effectively makes.
+package joint
+
+import (
+	"blu/internal/blueprint"
+)
+
+// Distribution yields joint access probabilities for client groups.
+type Distribution interface {
+	// Prob returns P(clear, blocked): the probability that every client
+	// in clear passes CCA while every client in blocked does not, in
+	// the same subframe. The sets must be disjoint.
+	Prob(clear, blocked blueprint.ClientSet) float64
+	// Marginal returns p(i) for a single client.
+	Marginal(i int) float64
+}
+
+// Calculator computes joint access distributions from a blueprint
+// topology by recursive conditioning (Section 3.6): conditioning on a
+// client having transmitted removes every hidden terminal adjacent to
+// it (they must have been silent), and the recursion bottoms out at
+// individual access probabilities on conditioned topologies.
+type Calculator struct {
+	topo *blueprint.Topology
+	memo map[[2]blueprint.ClientSet]float64
+}
+
+// NewCalculator returns a Calculator over the given topology. The
+// topology is not copied; callers must not mutate it while in use.
+func NewCalculator(topo *blueprint.Topology) *Calculator {
+	return &Calculator{
+		topo: topo,
+		memo: make(map[[2]blueprint.ClientSet]float64),
+	}
+}
+
+// Marginal implements Distribution.
+func (c *Calculator) Marginal(i int) float64 { return c.topo.AccessProb(i) }
+
+// Prob implements Distribution: P(U, V̄) = P(V̄ | U) · P(U) (Eqn 7),
+// with P(U) by recursive conditioning (Eqn 8) — whose closed form on an
+// independent-terminal blueprint is the clear-product — and P(V̄ | U)
+// by the Eqn 9 recursion.
+func (c *Calculator) Prob(clear, blocked blueprint.ClientSet) float64 {
+	if !clear.Intersect(blocked).Empty() {
+		return 0
+	}
+	pu := c.topo.ClearProb(clear) // P(U_n), Eqn 8
+	if pu == 0 {
+		return 0
+	}
+	return pu * c.blockedGiven(clear, blocked)
+}
+
+// blockedGiven returns P(V̄ | cond clear) via the Eqn 9 recursion:
+//
+//	P(V̄_m | cond) = P(V̄_{m−1} | cond) − P(v_m | cond) · P(V̄_{m−1} | cond ∪ v_m)
+//
+// i.e. "all of V blocked" equals "all but v_m blocked" minus the cases
+// where v_m was additionally clear.
+func (c *Calculator) blockedGiven(cond, blocked blueprint.ClientSet) float64 {
+	if blocked.Empty() {
+		return 1
+	}
+	key := [2]blueprint.ClientSet{cond, blocked}
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	members := blocked.Members()
+	vm := members[len(members)-1]
+	rest := blocked.Remove(vm)
+	pRest := c.blockedGiven(cond, rest)
+	var p float64
+	if pRest > 0 {
+		pVm := c.marginalGiven(vm, cond)
+		p = pRest - pVm*c.blockedGiven(cond.Add(vm), rest)
+		if p < 0 {
+			p = 0 // guard tiny negative float residue
+		}
+	}
+	c.memo[key] = p
+	return p
+}
+
+// marginalGiven returns P(v clear | cond clear): the product of idle
+// probabilities of hidden terminals adjacent to v but not already
+// silenced by the conditioning set (Fig 8's conditioned topology).
+func (c *Calculator) marginalGiven(v int, cond blueprint.ClientSet) float64 {
+	p := 1.0
+	for _, ht := range c.topo.HTs {
+		if ht.Clients.Has(v) && ht.Clients.Intersect(cond).Empty() {
+			p *= 1 - ht.Q
+		}
+	}
+	return p
+}
+
+// ProbInclusionExclusion computes P(U, V̄) by exact inclusion-exclusion
+// over subsets of V:
+//
+//	P(U, V̄) = Σ_{S ⊆ V} (−1)^{|S|} · P(U ∪ S clear)
+//
+// It is exponential in |V| and exists as an independent cross-check for
+// the recursive method (the two must agree — property-tested).
+func ProbInclusionExclusion(topo *blueprint.Topology, clear, blocked blueprint.ClientSet) float64 {
+	if !clear.Intersect(blocked).Empty() {
+		return 0
+	}
+	members := blocked.Members()
+	m := len(members)
+	var p float64
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		set := clear
+		bits := 0
+		for b := 0; b < m; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				set = set.Add(members[b])
+				bits++
+			}
+		}
+		term := topo.ClearProb(set)
+		if bits%2 == 1 {
+			term = -term
+		}
+		p += term
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Independent is the naive distribution that treats client accesses as
+// independent — correct only when no two clients share a hidden
+// terminal. It is what a scheduler knowing only marginals can assume.
+type Independent struct {
+	// P[i] is client i's marginal access probability.
+	P []float64
+}
+
+// Marginal implements Distribution.
+func (d *Independent) Marginal(i int) float64 { return d.P[i] }
+
+// Prob implements Distribution as a product of marginals.
+func (d *Independent) Prob(clear, blocked blueprint.ClientSet) float64 {
+	if !clear.Intersect(blocked).Empty() {
+		return 0
+	}
+	p := 1.0
+	clear.ForEach(func(i int) { p *= d.P[i] })
+	blocked.ForEach(func(i int) { p *= 1 - d.P[i] })
+	return p
+}
+
+// Empirical estimates joint distributions by counting observed
+// per-subframe access outcomes. Add one outcome bitmask per subframe
+// (bit i set ⇔ client i passed CCA); Prob divides matching outcomes by
+// the total. This is the "perfect knowledge" oracle of Fig 15 when fed
+// the ground-truth access trace.
+type Empirical struct {
+	counts map[blueprint.ClientSet]int
+	total  int
+	n      int
+}
+
+// NewEmpirical returns an empty empirical distribution over n clients.
+func NewEmpirical(n int) *Empirical {
+	return &Empirical{counts: make(map[blueprint.ClientSet]int), n: n}
+}
+
+// Add records one subframe's access outcome.
+func (e *Empirical) Add(accessible blueprint.ClientSet) {
+	e.counts[accessible]++
+	e.total++
+}
+
+// Total returns the number of recorded subframes.
+func (e *Empirical) Total() int { return e.total }
+
+// Marginal implements Distribution.
+func (e *Empirical) Marginal(i int) float64 {
+	if e.total == 0 {
+		return 0
+	}
+	hits := 0
+	for mask, c := range e.counts {
+		if mask.Has(i) {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(e.total)
+}
+
+// Prob implements Distribution.
+func (e *Empirical) Prob(clear, blocked blueprint.ClientSet) float64 {
+	if e.total == 0 || !clear.Intersect(blocked).Empty() {
+		return 0
+	}
+	hits := 0
+	for mask, c := range e.counts {
+		if mask.Contains(clear) && mask.Intersect(blocked).Empty() {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(e.total)
+}

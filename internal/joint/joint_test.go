@@ -1,0 +1,217 @@
+package joint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blu/internal/blueprint"
+	"blu/internal/rng"
+)
+
+func testTopology() *blueprint.Topology {
+	return &blueprint.Topology{
+		N: 5,
+		HTs: []blueprint.HiddenTerminal{
+			{Q: 0.30, Clients: blueprint.NewClientSet(0, 1)},
+			{Q: 0.20, Clients: blueprint.NewClientSet(1, 2, 3)},
+			{Q: 0.15, Clients: blueprint.NewClientSet(3)},
+			{Q: 0.40, Clients: blueprint.NewClientSet(0, 4)},
+		},
+	}
+}
+
+func TestCalculatorMatchesInclusionExclusion(t *testing.T) {
+	topo := testTopology()
+	calc := NewCalculator(topo)
+	full := blueprint.NewClientSet(0, 1, 2, 3, 4)
+	// Enumerate every disjoint (clear, blocked) partition of subsets.
+	for clearMask := blueprint.ClientSet(0); clearMask <= full; clearMask++ {
+		if !full.Contains(clearMask) {
+			continue
+		}
+		rest := full.Minus(clearMask)
+		for blockedMask := blueprint.ClientSet(0); blockedMask <= rest; blockedMask++ {
+			if !rest.Contains(blockedMask) {
+				continue
+			}
+			got := calc.Prob(clearMask, blockedMask)
+			want := ProbInclusionExclusion(topo, clearMask, blockedMask)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("Prob(%v, %v) = %v, inclusion-exclusion %v",
+					clearMask, blockedMask, got, want)
+			}
+		}
+	}
+}
+
+func TestCalculatorMatchesMonteCarlo(t *testing.T) {
+	topo := testTopology()
+	calc := NewCalculator(topo)
+	clear := blueprint.NewClientSet(2, 4)
+	blocked := blueprint.NewClientSet(0, 3)
+	want := calc.Prob(clear, blocked)
+
+	r := rng.New(42)
+	const trials = 300000
+	hits := 0
+	for n := 0; n < trials; n++ {
+		var silenced blueprint.ClientSet
+		for _, ht := range topo.HTs {
+			if r.Bool(ht.Q) {
+				silenced = silenced.Union(ht.Clients)
+			}
+		}
+		if silenced.Intersect(clear).Empty() && silenced.Contains(blocked) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("Monte Carlo %v, calculator %v", got, want)
+	}
+}
+
+func TestCalculatorPaperExample(t *testing.T) {
+	// The paper's Section 3.6 example: P(1̄, 2̄, 3, 4) decomposed via
+	// conditioning. Verify the decomposition identities hold on our
+	// calculator for an arbitrary topology.
+	topo := testTopology()
+	calc := NewCalculator(topo)
+	c34 := blueprint.NewClientSet(2, 3) // "clients 3, 4" (0-indexed: 2, 3)
+	b12 := blueprint.NewClientSet(0, 1) // "clients 1, 2"
+	joint := calc.Prob(c34, b12)
+	p34 := calc.Prob(c34, 0)
+	if p34 == 0 {
+		t.Fatal("P(3,4) = 0")
+	}
+	condBlocked := joint / p34 // P((1̄,2̄)|(3,4))
+	// Cross-check against inclusion-exclusion on the conditioned topology.
+	cond := topo.Condition(c34)
+	want := ProbInclusionExclusion(cond, 0, b12)
+	if math.Abs(condBlocked-want) > 1e-9 {
+		t.Errorf("P(blocked|clear) = %v, conditioned-topology value %v", condBlocked, want)
+	}
+}
+
+func TestCalculatorDisjointSetsRequired(t *testing.T) {
+	calc := NewCalculator(testTopology())
+	overlap := blueprint.NewClientSet(1)
+	if got := calc.Prob(overlap, overlap); got != 0 {
+		t.Errorf("overlapping sets gave %v, want 0", got)
+	}
+}
+
+func TestCalculatorTotalProbability(t *testing.T) {
+	// Summing P(g, rest blocked) over all subsets g of a group must be 1.
+	calc := NewCalculator(testTopology())
+	group := blueprint.NewClientSet(0, 1, 3, 4)
+	var sum float64
+	members := group.Members()
+	for mask := 0; mask < 1<<uint(len(members)); mask++ {
+		var g blueprint.ClientSet
+		for b, m := range members {
+			if mask&(1<<uint(b)) != 0 {
+				g = g.Add(m)
+			}
+		}
+		sum += calc.Prob(g, group.Minus(g))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("total probability = %v, want 1", sum)
+	}
+}
+
+func TestIndependentDistribution(t *testing.T) {
+	d := &Independent{P: []float64{0.5, 0.8}}
+	got := d.Prob(blueprint.NewClientSet(0), blueprint.NewClientSet(1))
+	if math.Abs(got-0.5*0.2) > 1e-12 {
+		t.Errorf("Prob = %v, want 0.1", got)
+	}
+	if d.Marginal(1) != 0.8 {
+		t.Errorf("Marginal = %v", d.Marginal(1))
+	}
+}
+
+func TestEmpiricalDistribution(t *testing.T) {
+	e := NewEmpirical(3)
+	// Outcomes: {0,1} clear ×3, {0} clear ×1, {} ×1 (5 subframes).
+	for i := 0; i < 3; i++ {
+		e.Add(blueprint.NewClientSet(0, 1))
+	}
+	e.Add(blueprint.NewClientSet(0))
+	e.Add(0)
+	if got := e.Marginal(0); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Marginal(0) = %v, want 0.8", got)
+	}
+	got := e.Prob(blueprint.NewClientSet(0), blueprint.NewClientSet(1))
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Prob(0 clear, 1 blocked) = %v, want 0.2", got)
+	}
+	if e.Total() != 5 {
+		t.Errorf("Total = %d", e.Total())
+	}
+}
+
+func TestEmpiricalConvergesToCalculator(t *testing.T) {
+	topo := testTopology()
+	calc := NewCalculator(topo)
+	e := NewEmpirical(topo.N)
+	r := rng.New(7)
+	for n := 0; n < 200000; n++ {
+		var silenced blueprint.ClientSet
+		for _, ht := range topo.HTs {
+			if r.Bool(ht.Q) {
+				silenced = silenced.Union(ht.Clients)
+			}
+		}
+		all := blueprint.NewClientSet(0, 1, 2, 3, 4)
+		e.Add(all.Minus(silenced))
+	}
+	clear := blueprint.NewClientSet(1, 4)
+	blocked := blueprint.NewClientSet(3)
+	if diff := math.Abs(e.Prob(clear, blocked) - calc.Prob(clear, blocked)); diff > 0.01 {
+		t.Errorf("empirical and analytic disagree by %v", diff)
+	}
+}
+
+// TestRecursionEqualsInclusionExclusionProperty fuzzes random topologies
+// and random disjoint set pairs: the Section 3.6 recursion and exact
+// inclusion-exclusion must always agree.
+func TestRecursionEqualsInclusionExclusionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(6)
+		topo := &blueprint.Topology{N: n}
+		for k, h := 0, 1+r.Intn(5); k < h; k++ {
+			var set blueprint.ClientSet
+			for i := 0; i < n; i++ {
+				if r.Bool(0.4) {
+					set = set.Add(i)
+				}
+			}
+			if set.Empty() {
+				set = set.Add(r.Intn(n))
+			}
+			topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{
+				Q: r.Float64() * 0.9, Clients: set,
+			})
+		}
+		var clear, blocked blueprint.ClientSet
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				clear = clear.Add(i)
+			case 1:
+				blocked = blocked.Add(i)
+			}
+		}
+		calc := NewCalculator(topo)
+		got := calc.Prob(clear, blocked)
+		want := ProbInclusionExclusion(topo, clear, blocked)
+		return math.Abs(got-want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package lte
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements the over-the-air encoding of uplink grants: a
+// compact DCI format-0-style message (3GPP 36.212 §5.3.3.1.1) carried
+// in the downlink control region. BLU's over-scheduling is "readily
+// compatible with LTE specifications" (paper §2.3/§4.1) precisely
+// because the eNB may transmit several such grants for the same
+// resource allocation — each addressed to a different UE's RNTI — and
+// the standard encoding below has no field coupling grants on the same
+// RBs, which is what the feasibility argument rests on.
+
+// DCI is an uplink scheduling grant as carried on the PDCCH: the
+// addressed UE, the allocated resource-block range, the MCS index, and
+// the subframe the grant is valid for.
+type DCI struct {
+	// RNTI identifies the addressed UE (C-RNTI range 0x003D–0xFFF3).
+	RNTI uint16
+	// RBStart and RBLen encode the contiguous type-0 UL allocation.
+	RBStart, RBLen uint8
+	// MCS is the modulation-and-coding index (0–31; 0–14 used here).
+	MCS uint8
+	// NDI is the new-data indicator toggled per transport block.
+	NDI bool
+	// TPC is the 2-bit transmit power control command.
+	TPC uint8
+	// SF is the uplink subframe index the grant addresses (k+4 rule
+	// folded in by the caller), modulo 1024.
+	SF uint16
+}
+
+// Wire size of an encoded DCI in bytes (fixed-size encoding with CRC).
+const DCIWireSize = 10
+
+// dciMagic guards against decoding garbage control payloads.
+const dciMagic = 0xB1
+
+// Errors returned by DCI decoding.
+var (
+	ErrDCIShort = errors.New("lte: DCI payload too short")
+	ErrDCIMagic = errors.New("lte: not a DCI payload")
+	ErrDCICRC   = errors.New("lte: DCI CRC mismatch")
+)
+
+// Validate checks field ranges against the 10 MHz carrier.
+func (d DCI) Validate() error {
+	if int(d.RBStart)+int(d.RBLen) > 50 {
+		return fmt.Errorf("lte: DCI allocation [%d, %d) exceeds 50 RBs", d.RBStart, int(d.RBStart)+int(d.RBLen))
+	}
+	if d.RBLen == 0 {
+		return errors.New("lte: DCI with empty allocation")
+	}
+	if d.MCS > 31 {
+		return fmt.Errorf("lte: DCI MCS %d out of range", d.MCS)
+	}
+	if d.TPC > 3 {
+		return fmt.Errorf("lte: DCI TPC %d out of range", d.TPC)
+	}
+	return nil
+}
+
+// Encode appends the wire form of the grant to dst and returns the
+// extended slice. Layout (big-endian):
+//
+//	byte 0    magic
+//	byte 1-2  RNTI
+//	byte 3    RBStart
+//	byte 4    RBLen
+//	byte 5    MCS (5 bits) | NDI (1 bit) | TPC (2 bits)
+//	byte 6-7  SF mod 1024
+//	byte 8-9  CRC-16 over bytes 0-7, masked with the RNTI as the
+//	          standard does so only the addressed UE validates it
+func (d DCI) Encode(dst []byte) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	start := len(dst)
+	dst = append(dst, dciMagic)
+	dst = binary.BigEndian.AppendUint16(dst, d.RNTI)
+	dst = append(dst, d.RBStart, d.RBLen)
+	flags := (d.MCS & 0x1F) << 3
+	if d.NDI {
+		flags |= 0x04
+	}
+	flags |= d.TPC & 0x03
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint16(dst, d.SF&0x3FF)
+	crc := crc16(dst[start:]) ^ d.RNTI
+	dst = binary.BigEndian.AppendUint16(dst, crc)
+	return dst, nil
+}
+
+// DecodeDCI parses one grant from the head of buf for the UE addressed
+// by rnti, returning the grant and the remaining bytes. A CRC mismatch
+// (the grant is addressed to someone else, or corrupted) returns
+// ErrDCICRC; the caller skips DCIWireSize bytes and tries the next
+// candidate, which is exactly how UEs blind-decode the PDCCH.
+func DecodeDCI(buf []byte, rnti uint16) (DCI, []byte, error) {
+	if len(buf) < DCIWireSize {
+		return DCI{}, buf, ErrDCIShort
+	}
+	if buf[0] != dciMagic {
+		return DCI{}, buf, ErrDCIMagic
+	}
+	body, tail := buf[:DCIWireSize-2], buf[DCIWireSize-2:DCIWireSize]
+	want := binary.BigEndian.Uint16(tail)
+	if crc16(body)^rnti != want {
+		return DCI{}, buf, ErrDCICRC
+	}
+	d := DCI{
+		RNTI:    binary.BigEndian.Uint16(buf[1:3]),
+		RBStart: buf[3],
+		RBLen:   buf[4],
+		MCS:     buf[5] >> 3,
+		NDI:     buf[5]&0x04 != 0,
+		TPC:     buf[5] & 0x03,
+		SF:      binary.BigEndian.Uint16(buf[6:8]),
+	}
+	if d.RNTI != rnti {
+		// CRC collision with a foreign RNTI is possible but the RNTI
+		// field must then still disagree.
+		return DCI{}, buf, ErrDCICRC
+	}
+	return d, buf[DCIWireSize:], nil
+}
+
+// ControlRegion serializes the uplink grants of one DL subframe's
+// control region, possibly several per RB range (over-scheduling).
+type ControlRegion struct {
+	Grants []DCI
+}
+
+// Marshal encodes every grant back-to-back.
+func (c ControlRegion) Marshal() ([]byte, error) {
+	var out []byte
+	for _, g := range c.Grants {
+		var err error
+		out, err = g.Encode(out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GrantsFor blind-decodes the control region the way a UE does,
+// returning every grant addressed to rnti.
+func GrantsFor(payload []byte, rnti uint16) []DCI {
+	var out []DCI
+	for len(payload) >= DCIWireSize {
+		d, rest, err := DecodeDCI(payload, rnti)
+		if err == nil {
+			out = append(out, d)
+			payload = rest
+			continue
+		}
+		payload = payload[DCIWireSize:]
+	}
+	return out
+}
+
+// crc16 is CRC-16/CCITT-FALSE, the generator LTE uses for PDCCH CRCs
+// (truncated from CRC-24 for this model).
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// MarshalSchedule encodes a Schedule's grants for subframe sf with the
+// given RB-group width, assigning UE i the RNTI base+i. It is the
+// transmit side of the feasibility demonstration: over-scheduled RB
+// groups simply emit one DCI per granted UE.
+func MarshalSchedule(s *Schedule, sf int, rbPerGroup int, rntiBase uint16) ([]byte, error) {
+	if rbPerGroup <= 0 {
+		rbPerGroup = 1
+	}
+	region := ControlRegion{}
+	for b, ues := range s.RB {
+		for _, ue := range ues {
+			region.Grants = append(region.Grants, DCI{
+				RNTI:    rntiBase + uint16(ue),
+				RBStart: uint8(b * rbPerGroup),
+				RBLen:   uint8(rbPerGroup),
+				MCS:     10,
+				SF:      uint16(sf) & 0x3FF,
+			})
+		}
+	}
+	return region.Marshal()
+}

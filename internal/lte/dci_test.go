@@ -1,0 +1,146 @@
+package lte
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDCIEncodeDecodeRoundTrip(t *testing.T) {
+	d := DCI{RNTI: 0x1234, RBStart: 10, RBLen: 5, MCS: 9, NDI: true, TPC: 2, SF: 777}
+	buf, err := d.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != DCIWireSize {
+		t.Fatalf("wire size = %d", len(buf))
+	}
+	got, rest, err := DecodeDCI(buf, 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes", len(rest))
+	}
+	if got != d {
+		t.Errorf("round trip: got %+v, want %+v", got, d)
+	}
+}
+
+func TestDCIRoundTripProperty(t *testing.T) {
+	f := func(rnti uint16, rbStart, rbLen, mcs, tpc uint8, ndi bool, sf uint16) bool {
+		d := DCI{
+			RNTI:    rnti,
+			RBStart: rbStart % 45,
+			RBLen:   1 + rbLen%5,
+			MCS:     mcs % 32,
+			NDI:     ndi,
+			TPC:     tpc % 4,
+			SF:      sf % 1024,
+		}
+		buf, err := d.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeDCI(buf, rnti)
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCIWrongRNTIFailsCRC(t *testing.T) {
+	d := DCI{RNTI: 100, RBStart: 0, RBLen: 5, MCS: 3}
+	buf, err := d.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeDCI(buf, 101); err != ErrDCICRC {
+		t.Errorf("foreign RNTI decode err = %v, want ErrDCICRC", err)
+	}
+}
+
+func TestDCICorruptionDetected(t *testing.T) {
+	d := DCI{RNTI: 55, RBStart: 20, RBLen: 10, MCS: 7}
+	buf, err := d.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		corrupted := append([]byte(nil), buf...)
+		corrupted[i] ^= 0x40
+		if _, _, err := DecodeDCI(corrupted, 55); err == nil {
+			t.Errorf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestDCIValidation(t *testing.T) {
+	bad := []DCI{
+		{RNTI: 1, RBStart: 48, RBLen: 5}, // beyond 50 RBs
+		{RNTI: 1, RBStart: 0, RBLen: 0},  // empty
+		{RNTI: 1, RBLen: 1, MCS: 40},     // MCS range
+		{RNTI: 1, RBLen: 1, TPC: 7},      // TPC range
+	}
+	for i, d := range bad {
+		if _, err := d.Encode(nil); err == nil {
+			t.Errorf("case %d: invalid DCI encoded", i)
+		}
+	}
+}
+
+func TestDCIShortAndGarbage(t *testing.T) {
+	if _, _, err := DecodeDCI([]byte{1, 2, 3}, 1); err != ErrDCIShort {
+		t.Errorf("short buffer err = %v", err)
+	}
+	garbage := make([]byte, DCIWireSize)
+	if _, _, err := DecodeDCI(garbage, 1); err != ErrDCIMagic {
+		t.Errorf("garbage err = %v", err)
+	}
+}
+
+// TestOverScheduledControlRegion is the §2.3 feasibility check in
+// miniature: multiple grants for the same RBs, different RNTIs, all
+// recoverable by their addressees and invisible to others.
+func TestOverScheduledControlRegion(t *testing.T) {
+	s := NewSchedule(2)
+	s.RB[0] = []int{0, 1, 2} // over-scheduled: three UEs on RB group 0
+	s.RB[1] = []int{3}
+	payload, err := MarshalSchedule(s, 42, 5, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 4*DCIWireSize {
+		t.Fatalf("payload = %d bytes", len(payload))
+	}
+	for ue := 0; ue < 4; ue++ {
+		grants := GrantsFor(payload, 0x100+uint16(ue))
+		if len(grants) != 1 {
+			t.Fatalf("UE %d decoded %d grants", ue, len(grants))
+		}
+		g := grants[0]
+		if g.SF != 42 {
+			t.Errorf("UE %d grant SF = %d", ue, g.SF)
+		}
+		wantStart := uint8(0)
+		if ue == 3 {
+			wantStart = 5
+		}
+		if g.RBStart != wantStart || g.RBLen != 5 {
+			t.Errorf("UE %d allocation [%d,%d)", ue, g.RBStart, g.RBStart+g.RBLen)
+		}
+	}
+	// A UE with no grant decodes nothing.
+	if got := GrantsFor(payload, 0x100+9); len(got) != 0 {
+		t.Errorf("unscheduled UE decoded %d grants", len(got))
+	}
+	// The three same-RB grants address three distinct RNTIs.
+	region := ControlRegion{}
+	for _, rnti := range []uint16{0x100, 0x101, 0x102} {
+		gs := GrantsFor(payload, rnti)
+		region.Grants = append(region.Grants, gs...)
+	}
+	if len(region.Grants) != 3 {
+		t.Errorf("same-RB grants = %d, want 3", len(region.Grants))
+	}
+}

@@ -1,0 +1,109 @@
+package lte
+
+import (
+	"testing"
+
+	"blu/internal/phy"
+)
+
+func TestNOMADecodesSeparatedCollision(t *testing.T) {
+	// Two SISO streams with a large power separation: orthogonal
+	// reception loses both; SIC decodes both.
+	m0, _ := phy.SelectMCS(0) // QPSK 1/3: needs 0 dB
+	scheduled := []int{0, 1}
+	transmitted := []bool{true, true}
+	mcs := []phy.MCS{m0, m0}
+	sinr := []float64{30, 10}
+
+	oma := Receive(scheduled, transmitted, mcs, sinr, 1, 144)
+	if oma.Outcomes[0] != OutcomeCollision || oma.Outcomes[1] != OutcomeCollision {
+		t.Fatalf("orthogonal outcomes = %v", oma.Outcomes)
+	}
+	noma := ReceiveNOMA(scheduled, transmitted, mcs, sinr, 1, 144)
+	// Strong stream: 30 dB over (noise + 10 dB interferer) ≈ 19.96 dB → decodes.
+	// Weak stream after SIC: 10 dB clean → decodes.
+	for i, o := range noma.Outcomes {
+		if o != OutcomeSuccess {
+			t.Errorf("NOMA stream %d = %v, want success", i, o)
+		}
+	}
+	if noma.DecodedStreams() != 2 {
+		t.Errorf("decoded = %d", noma.DecodedStreams())
+	}
+}
+
+func TestNOMASICFailureStopsChain(t *testing.T) {
+	// Five equal-power streams on one antenna: the strongest sees
+	// 10 dB over 4×10 dB of interference ≈ −6.1 dB, below even the most
+	// robust MCS, so SIC cannot start and the whole RB is lost.
+	m10, _ := phy.SelectMCS(10)
+	scheduled := []int{0, 1, 2, 3, 4}
+	tx := []bool{true, true, true, true, true}
+	mcs := []phy.MCS{m10, m10, m10, m10, m10}
+	res := ReceiveNOMA(scheduled, tx, mcs, []float64{10, 10, 10, 10, 10}, 1, 144)
+	for i, o := range res.Outcomes {
+		if o != OutcomeCollision {
+			t.Errorf("stream %d = %v, want collision", i, o)
+		}
+	}
+}
+
+func TestNOMARateAdaptsUnderInterference(t *testing.T) {
+	// Two comparable streams: both decode, but the stronger one only at
+	// a reduced rate (post-SIC SINR ~0 dB, not its scheduled 15 dB MCS).
+	m10, _ := phy.SelectMCS(14) // high scheduled MCS
+	res := ReceiveNOMA([]int{0, 1}, []bool{true, true},
+		[]phy.MCS{m10, m10}, []float64{15, 14.5}, 1, 144)
+	if res.Outcomes[0] != OutcomeSuccess || res.Outcomes[1] != OutcomeSuccess {
+		t.Fatalf("outcomes = %v", res.Outcomes)
+	}
+	if res.Bits[0] >= res.Bits[1] {
+		t.Errorf("interference-limited stream delivered %v >= clean stream %v",
+			res.Bits[0], res.Bits[1])
+	}
+	if res.Bits[1] != 144*m10.Efficiency {
+		t.Errorf("clean stream bits = %v, want full scheduled rate", res.Bits[1])
+	}
+}
+
+func TestNOMABlockedStillBlocked(t *testing.T) {
+	m0, _ := phy.SelectMCS(0)
+	res := ReceiveNOMA([]int{0, 1}, []bool{false, true},
+		[]phy.MCS{m0, m0}, []float64{20, 20}, 1, 144)
+	if res.Outcomes[0] != OutcomeBlocked {
+		t.Errorf("blocked UE = %v", res.Outcomes[0])
+	}
+	if res.Outcomes[1] != OutcomeSuccess {
+		t.Errorf("lone transmitter = %v", res.Outcomes[1])
+	}
+}
+
+func TestNOMASingleStreamMatchesOMA(t *testing.T) {
+	m5, _ := phy.SelectMCS(4)
+	for _, sinr := range []float64{-10, 2, 15} {
+		oma := Receive([]int{0}, []bool{true}, []phy.MCS{m5}, []float64{sinr}, 1, 144)
+		noma := ReceiveNOMA([]int{0}, []bool{true}, []phy.MCS{m5}, []float64{sinr}, 1, 144)
+		// NOMA never does worse on a single stream (array gain equal at
+		// M=1, no interference): success must agree for clear margins.
+		if oma.Outcomes[0] == OutcomeSuccess && noma.Outcomes[0] != OutcomeSuccess {
+			t.Errorf("sinr=%v: NOMA lost a stream OMA decodes", sinr)
+		}
+	}
+}
+
+func TestNOMAArrayGainHelps(t *testing.T) {
+	// The same two comparable-power streams that fail on one antenna
+	// decode on four (array processing gain).
+	m3, _ := phy.SelectMCS(0)
+	mcs := []phy.MCS{m3, m3}
+	sinr := []float64{12, 10}
+	one := ReceiveNOMA([]int{0, 1}, []bool{true, true}, mcs, sinr, 1, 144)
+	four := ReceiveNOMA([]int{0, 1}, []bool{true, true}, mcs, sinr, 4, 144)
+	if four.DecodedStreams() < one.DecodedStreams() {
+		t.Errorf("more antennas decoded fewer streams: %d vs %d",
+			four.DecodedStreams(), one.DecodedStreams())
+	}
+	if four.DecodedStreams() != 2 {
+		t.Errorf("M=4 decoded %d of 2", four.DecodedStreams())
+	}
+}

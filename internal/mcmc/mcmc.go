@@ -1,0 +1,203 @@
+// Package mcmc is the Bayesian topology-inference baseline the paper
+// evaluated before designing its deterministic algorithm (Section 3.4):
+// a Metropolis–Hastings sampler over interference topologies whose
+// stationary distribution concentrates on topologies maximizing the
+// posterior probability of the observed client access distributions.
+//
+// As the paper notes, the sampler only converges *in distribution* — a
+// scheduler needs one concrete topology, so the chain's maximum a
+// posteriori sample is returned. BLU's deterministic constraint-repair
+// inference exists because this baseline needs many iterations and its
+// sampled topology can mismatch the ground truth; the ablation
+// benchmark compares the two.
+package mcmc
+
+import (
+	"errors"
+	"math"
+
+	"blu/internal/blueprint"
+	"blu/internal/rng"
+)
+
+// Options tunes the sampler. The zero value selects defaults.
+type Options struct {
+	// Iterations is the chain length (default 20000).
+	Iterations int
+	// Beta is the inverse temperature of the likelihood
+	// exp(−Beta·violation) (default 40; higher concentrates the
+	// posterior on low-violation topologies).
+	Beta float64
+	// HTPenalty is the per-terminal prior penalty favoring sparse
+	// topologies (default 0.5, i.e. prior ∝ exp(−0.5·h)).
+	HTPenalty float64
+	// MaxHTs caps the topology size (default 4·N).
+	MaxHTs int
+	// Seed drives the chain.
+	Seed uint64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 20000
+	}
+	if o.Beta <= 0 {
+		o.Beta = 40
+	}
+	if o.HTPenalty <= 0 {
+		o.HTPenalty = 0.5
+	}
+	if o.MaxHTs <= 0 {
+		o.MaxHTs = 4 * n
+		if o.MaxHTs < 8 {
+			o.MaxHTs = 8
+		}
+	}
+	return o
+}
+
+// Result reports the chain outcome.
+type Result struct {
+	// Topology is the maximum-a-posteriori topology visited.
+	Topology *blueprint.Topology
+	// Violation is its total constraint violation (−log domain).
+	Violation float64
+	// Accepted counts accepted proposals.
+	Accepted int
+	// Iterations is the chain length run.
+	Iterations int
+}
+
+// state is the chain state in the transformed (−log) domain.
+type state struct {
+	n   int
+	hts []stateHT
+}
+
+type stateHT struct {
+	q       float64 // transformed Q(k)
+	clients blueprint.ClientSet
+}
+
+func (s *state) clone() *state {
+	c := &state{n: s.n, hts: make([]stateHT, len(s.hts))}
+	copy(c.hts, s.hts)
+	return c
+}
+
+func (s *state) topology() *blueprint.Topology {
+	t := &blueprint.Topology{N: s.n}
+	for _, h := range s.hts {
+		if h.clients.Empty() || h.q <= 0 {
+			continue
+		}
+		t.HTs = append(t.HTs, blueprint.HiddenTerminal{
+			Q:       blueprint.ProbFromQ(h.q),
+			Clients: h.clients,
+		})
+	}
+	return t
+}
+
+// Infer runs the Metropolis–Hastings chain over topologies and returns
+// the MAP sample.
+func Infer(m *blueprint.Measurements, opts Options) (*Result, error) {
+	if m == nil || m.N == 0 {
+		return nil, errors.New("mcmc: measurements cover no clients")
+	}
+	opts = opts.withDefaults(m.N)
+	target := m.Transform()
+	r := rng.New(opts.Seed)
+
+	cur := &state{n: m.N}
+	curViol, _ := blueprint.Residual(target, cur.topology())
+	curScore := -opts.Beta*curViol - opts.HTPenalty*float64(len(cur.hts))
+
+	best := cur.clone()
+	bestViol := curViol
+	bestScore := curScore
+
+	res := &Result{Iterations: opts.Iterations}
+	for it := 0; it < opts.Iterations; it++ {
+		prop, ok := propose(cur, target, opts, r)
+		if !ok {
+			continue
+		}
+		propViol, _ := blueprint.Residual(target, prop.topology())
+		propScore := -opts.Beta*propViol - opts.HTPenalty*float64(len(prop.hts))
+		// Metropolis acceptance (symmetric proposals assumed).
+		if propScore >= curScore || r.Float64() < math.Exp(propScore-curScore) {
+			cur, curViol, curScore = prop, propViol, propScore
+			res.Accepted++
+			if curScore > bestScore {
+				best, bestViol, bestScore = cur.clone(), curViol, curScore
+			}
+		}
+	}
+	res.Topology = best.topology().Normalize()
+	res.Violation = bestViol
+	return res, nil
+}
+
+// propose draws one of the move kinds: add a hidden terminal, remove
+// one, toggle an edge, or perturb an access probability.
+func propose(cur *state, target *blueprint.Transformed, opts Options, r *rng.Source) (*state, bool) {
+	prop := cur.clone()
+	switch r.Intn(4) {
+	case 0: // add a terminal seeded from a violated constraint
+		if len(prop.hts) >= opts.MaxHTs {
+			return nil, false
+		}
+		i := r.Intn(prop.n)
+		set := blueprint.NewClientSet(i)
+		if r.Bool(0.6) {
+			set = set.Add(r.Intn(prop.n))
+		}
+		q := r.Float64() * maxTargetQ(target)
+		if q <= 0 {
+			return nil, false
+		}
+		prop.hts = append(prop.hts, stateHT{q: q, clients: set})
+	case 1: // remove a terminal
+		if len(prop.hts) == 0 {
+			return nil, false
+		}
+		k := r.Intn(len(prop.hts))
+		prop.hts = append(prop.hts[:k], prop.hts[k+1:]...)
+	case 2: // toggle an edge
+		if len(prop.hts) == 0 {
+			return nil, false
+		}
+		k := r.Intn(len(prop.hts))
+		i := r.Intn(prop.n)
+		if prop.hts[k].clients.Has(i) {
+			prop.hts[k].clients = prop.hts[k].clients.Remove(i)
+			if prop.hts[k].clients.Empty() {
+				prop.hts = append(prop.hts[:k], prop.hts[k+1:]...)
+			}
+		} else {
+			prop.hts[k].clients = prop.hts[k].clients.Add(i)
+		}
+	default: // perturb Q(k) with a log-normal-ish random walk
+		if len(prop.hts) == 0 {
+			return nil, false
+		}
+		k := r.Intn(len(prop.hts))
+		q := prop.hts[k].q * math.Exp(0.3*r.NormFloat64())
+		if q <= 1e-6 || q > 13.8 {
+			return nil, false
+		}
+		prop.hts[k].q = q
+	}
+	return prop, true
+}
+
+func maxTargetQ(t *blueprint.Transformed) float64 {
+	m := 0.05
+	for _, v := range t.PI {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,82 @@
+package mcmc
+
+import (
+	"testing"
+
+	"blu/internal/blueprint"
+)
+
+func TestInferValidation(t *testing.T) {
+	if _, err := Infer(nil, Options{}); err == nil {
+		t.Error("nil measurements accepted")
+	}
+	if _, err := Infer(blueprint.NewMeasurements(0), Options{}); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+func TestInferRecoversSimpleTopology(t *testing.T) {
+	truth := &blueprint.Topology{N: 4, HTs: []blueprint.HiddenTerminal{
+		{Q: 0.5, Clients: blueprint.NewClientSet(0, 1)},
+		{Q: 0.3, Clients: blueprint.NewClientSet(2)},
+	}}
+	res, err := Infer(truth.Measure(), Options{Seed: 1, Iterations: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := blueprint.Accuracy(truth, res.Topology); acc < 1 {
+		t.Errorf("accuracy = %v, inferred %v", acc, res.Topology)
+	}
+	if res.Accepted == 0 {
+		t.Error("chain accepted nothing")
+	}
+}
+
+func TestInferImprovesOverChainLength(t *testing.T) {
+	truth := &blueprint.Topology{N: 6, HTs: []blueprint.HiddenTerminal{
+		{Q: 0.4, Clients: blueprint.NewClientSet(0, 1, 2)},
+		{Q: 0.3, Clients: blueprint.NewClientSet(3, 4)},
+		{Q: 0.2, Clients: blueprint.NewClientSet(5)},
+	}}
+	meas := truth.Measure()
+	short, err := Infer(meas, Options{Seed: 2, Iterations: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Infer(meas, Options{Seed: 2, Iterations: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Violation > short.Violation+1e-9 {
+		t.Errorf("longer chain worse: %v vs %v", long.Violation, short.Violation)
+	}
+}
+
+func TestInferEmptyTopology(t *testing.T) {
+	truth := &blueprint.Topology{N: 4}
+	res, err := Infer(truth.Measure(), Options{Seed: 3, Iterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Topology.HTs) != 0 {
+		t.Errorf("hallucinated terminals on a clean cell: %v", res.Topology)
+	}
+}
+
+func TestInferDeterministicPerSeed(t *testing.T) {
+	truth := &blueprint.Topology{N: 4, HTs: []blueprint.HiddenTerminal{
+		{Q: 0.4, Clients: blueprint.NewClientSet(0, 2)},
+	}}
+	meas := truth.Measure()
+	a, err := Infer(meas, Options{Seed: 9, Iterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Infer(meas, Options{Seed: 9, Iterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation != b.Violation || len(a.Topology.HTs) != len(b.Topology.HTs) {
+		t.Error("same seed produced different chains")
+	}
+}

@@ -1,0 +1,228 @@
+// Package netsim is the stand-in for the paper's NS3-LAA simulation
+// runs (Section 4.2.2): it mass-produces randomized large topologies —
+// 5 to 25 UEs and WiFi nodes with random placements and traffic — runs
+// the WiFi/LTE access simulation on each, estimates the client access
+// distributions the way a promiscuous-capture UE would, and scores
+// BLU's topology inference against the ground truth. The Fig 14b CDF is
+// the distribution of the per-topology accuracies.
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"blu/internal/blueprint"
+	"blu/internal/geom"
+	"blu/internal/rng"
+	"blu/internal/sim"
+	"blu/internal/topology"
+	"blu/internal/wifi"
+)
+
+// BatchConfig parameterizes a topology batch.
+type BatchConfig struct {
+	// Topologies is the number of random topologies (paper: 300).
+	Topologies int
+	// NodeSteps are the UE/WiFi-node counts to cycle through
+	// (paper: 5, 10, 15, 20, 25).
+	NodeSteps []int
+	// Subframes is the per-topology simulation horizon (default 4000).
+	Subframes int
+	// Seed drives all randomness.
+	Seed uint64
+	// InferOptions tunes inference (zero = defaults).
+	InferOptions blueprint.InferOptions
+	// Workers bounds parallelism (default NumCPU).
+	Workers int
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.Topologies <= 0 {
+		c.Topologies = 300
+	}
+	if len(c.NodeSteps) == 0 {
+		c.NodeSteps = []int{5, 10, 15, 20, 25}
+	}
+	if c.Subframes <= 0 {
+		c.Subframes = 4000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// TopologyResult scores inference on one generated topology.
+type TopologyResult struct {
+	// Index is the topology's position in the batch.
+	Index int
+	// NumUE and NumStations describe the generated deployment.
+	NumUE, NumStations int
+	// NumHiddenTerminals is the ground-truth hidden-terminal count
+	// (stations hidden from the eNB that block at least one UE).
+	NumHiddenTerminals int
+	// Accuracy is the paper's exact-edge-set inference accuracy.
+	Accuracy float64
+	// QError is the mean |q̂−q| over matched terminals.
+	QError float64
+	// Violation is the inferred topology's residual violation.
+	Violation float64
+	// Converged reports whether inference satisfied all constraints.
+	Converged bool
+}
+
+// RunBatch generates and scores cfg.Topologies random topologies,
+// in parallel. Results are returned in batch order.
+func RunBatch(cfg BatchConfig) ([]TopologyResult, error) {
+	cfg = cfg.withDefaults()
+	results := make([]TopologyResult, cfg.Topologies)
+	errs := make([]error, cfg.Topologies)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for idx := 0; idx < cfg.Topologies; idx++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := runOne(cfg, idx)
+			results[idx] = res
+			errs[idx] = err
+		}(idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func runOne(cfg BatchConfig, idx int) (TopologyResult, error) {
+	r := rng.New(cfg.Seed + uint64(idx)*0x9E3779B97F4A7C15)
+	nodes := cfg.NodeSteps[idx%len(cfg.NodeSteps)]
+
+	sc, err := topology.NewScenario(topology.Config{
+		Floor:       floorFor(nodes),
+		NumUEs:      nodes,
+		NumStations: nodes,
+		Clustered:   r.Bool(0.5),
+	}, r.Split("scenario"))
+	if err != nil {
+		return TopologyResult{}, fmt.Errorf("netsim: topology %d: %w", idx, err)
+	}
+
+	stations := make([]wifi.Station, nodes)
+	for k := range stations {
+		// "WiFi nodes transfer UDP traffic to random neighbors at a
+		// bitrate chosen by the rate adaptation algorithm": random
+		// airtime in a wide band.
+		stations[k].Traffic = wifi.DutyCycle{Target: 0.15 + 0.5*r.Float64()}
+		stations[k].Rate = wifi.RateForSNR(10 + 20*r.Float64())
+	}
+	cell, err := sim.New(sim.Config{
+		Scenario:  sc,
+		Stations:  stations,
+		Subframes: cfg.Subframes,
+		Seed:      r.Uint64(),
+	})
+	if err != nil {
+		return TopologyResult{}, fmt.Errorf("netsim: topology %d: %w", idx, err)
+	}
+
+	meas := MeasureFromMasks(cell)
+	inf, err := blueprint.Infer(meas, cfg.InferOptions)
+	if err != nil {
+		return TopologyResult{}, fmt.Errorf("netsim: topology %d: %w", idx, err)
+	}
+	truth := cell.GroundTruth()
+	qerr, _ := blueprint.QError(truth, inf.Topology)
+	return TopologyResult{
+		Index:              idx,
+		NumUE:              nodes,
+		NumStations:        nodes,
+		NumHiddenTerminals: len(truth.HTs),
+		Accuracy:           blueprint.Accuracy(truth, inf.Topology),
+		QError:             qerr,
+		Violation:          inf.Violation,
+		Converged:          inf.Converged,
+	}, nil
+}
+
+// floorFor scales the floor with the node count so densities stay in
+// the enterprise regime.
+func floorFor(nodes int) geom.Floor {
+	side := 60 + 6*float64(nodes)
+	return geom.Floor{Width: side, Height: side * 0.7}
+}
+
+// MeasureTriples augments measurements with every third-order joint
+// access probability p(i,j,k), computed from the cell's access masks —
+// the §3.5 extension for skewed topologies. Cost grows as C(N,3), so
+// it is only worthwhile when pair-wise constraints underdetermine the
+// blueprint.
+func MeasureTriples(cell *sim.Cell, m *blueprint.Measurements) {
+	n := cell.NumUE()
+	total := cell.Subframes()
+	counts := make(map[[3]int]int)
+	for sf := 0; sf < total; sf++ {
+		mask := cell.AccessMask(sf)
+		members := mask.Members()
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				for c := b + 1; c < len(members); c++ {
+					counts[[3]int{members[a], members[b], members[c]}]++
+				}
+			}
+		}
+	}
+	floor := 1e-4
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				p := float64(counts[[3]int{i, j, k}]) / float64(total)
+				if p < floor {
+					p = floor
+				}
+				m.SetTriple(i, j, k, p)
+			}
+		}
+	}
+}
+
+// MeasureFromMasks computes the empirical access distributions from
+// the cell's full per-subframe access masks — the way the paper derives
+// p(i) and p(i,j) from promiscuous-mode WiFi activity traces captured
+// at the UEs.
+func MeasureFromMasks(cell *sim.Cell) *blueprint.Measurements {
+	n := cell.NumUE()
+	total := cell.Subframes()
+	countI := make([]int, n)
+	countIJ := make([][]int, n)
+	for i := range countIJ {
+		countIJ[i] = make([]int, n)
+	}
+	for sf := 0; sf < total; sf++ {
+		mask := cell.AccessMask(sf)
+		mask.ForEach(func(i int) {
+			countI[i]++
+			mask.ForEach(func(j int) {
+				if j > i {
+					countIJ[i][j]++
+				}
+			})
+		})
+	}
+	m := blueprint.NewMeasurements(n)
+	for i := 0; i < n; i++ {
+		m.P[i] = float64(countI[i]) / float64(total)
+		for j := i + 1; j < n; j++ {
+			m.SetPair(i, j, float64(countIJ[i][j])/float64(total))
+		}
+	}
+	m.Clamp(1e-4)
+	return m
+}

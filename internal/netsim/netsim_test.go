@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+
+	"math"
+
+	"blu/internal/sim"
+	"blu/internal/stats"
+)
+
+func TestRunBatchSmall(t *testing.T) {
+	results, err := RunBatch(BatchConfig{
+		Topologies: 10,
+		NodeSteps:  []int{5, 10},
+		Subframes:  6000,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	var accs []float64
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if r.NumUE != 5 && r.NumUE != 10 {
+			t.Errorf("unexpected node count %d", r.NumUE)
+		}
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("accuracy %v out of range", r.Accuracy)
+		}
+		accs = append(accs, r.Accuracy)
+	}
+	// Small topologies with long traces should infer well on average.
+	if mean := stats.Mean(accs); mean < 0.7 {
+		t.Errorf("mean accuracy %v too low for small topologies", mean)
+	}
+}
+
+func TestRunBatchDeterministic(t *testing.T) {
+	cfg := BatchConfig{Topologies: 4, NodeSteps: []int{5}, Subframes: 3000, Seed: 8}
+	a, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Accuracy != b[i].Accuracy || a[i].NumHiddenTerminals != b[i].NumHiddenTerminals {
+			t.Fatalf("batch not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMeasureFromMasksConsistent(t *testing.T) {
+	cell, err := sim.New(sim.Config{
+		Scenario:  sim.NewTestbedScenario(6, 9, 71),
+		Subframes: 5000,
+		Seed:      71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureFromMasks(cell)
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("measurements inconsistent: %v", err)
+	}
+	// Marginals equal the raw mask rates (up to clamping floor).
+	for i := 0; i < 6; i++ {
+		hits := 0
+		for sf := 0; sf < 5000; sf++ {
+			if cell.AccessMask(sf).Has(i) {
+				hits++
+			}
+		}
+		want := float64(hits) / 5000
+		if want < 1e-4 {
+			want = 1e-4
+		}
+		if math.Abs(m.P[i]-want) > 1e-9 {
+			t.Errorf("p(%d) = %v, mask rate %v", i, m.P[i], want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package rng provides a small, fast, splittable pseudo-random number
+// generator used throughout the simulator.
+//
+// Experiments need reproducibility (a seed fully determines a run) and
+// independence between subsystems (the WiFi MAC must not perturb the LTE
+// fading draw stream when one of them consumes an extra variate). Both
+// needs are served by a splittable generator: every subsystem derives its
+// own child stream from a parent via Split, keyed by a label, so streams
+// are stable under code changes elsewhere.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as its
+// authors recommend. It is not cryptographically secure and must never be
+// used for security purposes.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic, splittable random source. The zero value is
+// not usable; construct with New or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed. Two Sources built from the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm, src.s[i] = splitMix64(sm)
+	}
+	// xoshiro must not start at the all-zero state.
+	if src.s == [4]uint64{} {
+		src.s[0] = 0x9E3779B97F4A7C15
+	}
+	return &src
+}
+
+// splitMix64 advances a SplitMix64 state and returns (next state, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent child stream labelled by label. The child
+// depends only on the parent's seed path and the label, not on how many
+// variates the parent has consumed, so sibling subsystems cannot perturb
+// each other. Splitting the same parent twice with the same label yields
+// the same child only if the parent state is identical, so callers should
+// split all children up front from a fresh parent.
+func (r *Source) Split(label string) *Source {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	// Mix the label hash with the parent state without consuming from it,
+	// then run the mixture through SplitMix64 for avalanche.
+	var child Source
+	sm := h ^ r.s[0] ^ rotl(r.s[2], 13)
+	for i := range child.s {
+		sm, child.s[i] = splitMix64(sm)
+	}
+	if child.s == [4]uint64{} {
+		child.s[0] = h | 1
+	}
+	return &child
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	bound := uint64(n)
+	threshold := -bound % bound // (2^64 - bound) mod bound
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (r *Source) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap (Fisher-Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

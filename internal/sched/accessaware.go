@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"blu/internal/joint"
+	"blu/internal/lte"
+)
+
+// AccessAware is the Eqn-5 baseline: a weighted proportional-fair
+// scheduler that multiplies each client's PF metric by its individual
+// access probability p(i). Knowing only marginals, it can prefer
+// clients that are rarely blocked but cannot over-schedule — shared
+// hidden terminals between co-scheduled clients are invisible to it.
+type AccessAware struct {
+	st   *pfState
+	dist joint.Distribution
+}
+
+// NewAccessAware returns an access-aware scheduler drawing marginal
+// access probabilities from dist.
+func NewAccessAware(env Env, dist joint.Distribution) (*AccessAware, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if env.Alpha <= 1 {
+		env.Alpha = 100
+	}
+	return &AccessAware{st: newPFState(env), dist: dist}, nil
+}
+
+// Name implements Scheduler.
+func (a *AccessAware) Name() string { return "AA" }
+
+// AvgThroughput implements Scheduler.
+func (a *AccessAware) AvgThroughput(i int) float64 { return a.st.r[i] }
+
+// Observe implements Scheduler.
+func (a *AccessAware) Observe(_ int, results []lte.RBResult) { a.st.observe(results) }
+
+// SetDistribution swaps the access-probability source (e.g. after a new
+// measurement phase).
+func (a *AccessAware) SetDistribution(dist joint.Distribution) { a.dist = dist }
+
+// Schedule implements Scheduler: per RB unit, greedily grow a group of
+// up to M clients maximizing Σ p(i)·r_{i,b,|G|}/R_i (Eqn 5).
+func (a *AccessAware) Schedule(_ int) *lte.Schedule {
+	env := a.st.env
+	a.st.beginSubframe()
+	sch := lte.NewSchedule(env.NumRB)
+	budget := newUEBudget(env.K)
+	for b := 0; b < env.NumRB; b++ {
+		group := a.greedyGroup(budget, b)
+		sch.RB[b] = group
+		for _, ue := range group {
+			budget.note(ue)
+			// Provisional load uses the expected service.
+			a.st.noteGrant(ue, a.dist.Marginal(ue)*env.Rate(ue, b)*env.groupScale(len(group)))
+		}
+	}
+	return sch
+}
+
+func (a *AccessAware) greedyGroup(budget *ueBudget, b int) []int {
+	env := a.st.env
+	var group []int
+	in := make([]bool, env.NumUE)
+	current := 0.0
+	for len(group) < env.M {
+		bestUE, bestUtil := -1, current
+		scale := env.groupScale(len(group) + 1)
+		for ue := 0; ue < env.NumUE; ue++ {
+			if in[ue] || !budget.allows(ue) || !env.hasBacklog(ue, a.st.served[ue]) {
+				continue
+			}
+			util := 0.0
+			for _, g := range group {
+				util += a.dist.Marginal(g) * env.Rate(g, b) * scale / a.st.metricDenom(g)
+			}
+			util += a.dist.Marginal(ue) * env.Rate(ue, b) * scale / a.st.metricDenom(ue)
+			if util > bestUtil+1e-15 {
+				bestUE, bestUtil = ue, util
+			}
+		}
+		if bestUE < 0 {
+			break
+		}
+		group = append(group, bestUE)
+		in[bestUE] = true
+		current = bestUtil
+	}
+	return group
+}

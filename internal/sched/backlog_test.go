@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+
+	"blu/internal/joint"
+)
+
+// The footnote-1 finite-buffer extension: schedulers stop granting a
+// client within a subframe once its provisional grants cover its
+// queued data.
+
+func backlogEnv(n, rb int, queue []float64) Env {
+	env := flatEnv(n, rb, 1, 0)
+	env.Backlog = func(ue int) float64 { return queue[ue] }
+	return env
+}
+
+func TestPFSkipsEmptyBuffers(t *testing.T) {
+	// Client 0 has no data; client 1 has plenty.
+	env := backlogEnv(2, 3, []float64{0, 1e9})
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := pf.Schedule(0)
+	for b, ues := range sch.RB {
+		for _, ue := range ues {
+			if ue == 0 {
+				t.Errorf("RB %d granted to empty-buffer client", b)
+			}
+		}
+	}
+}
+
+func TestPFStopsWhenBacklogCovered(t *testing.T) {
+	// Client 0's queue fits in one RB grant (rate 1000 bits/RB); client
+	// 1 is saturated. Client 0 must receive at most one RB even though
+	// its PF metric would otherwise win several.
+	env := backlogEnv(2, 5, []float64{800, 1e9})
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := pf.Schedule(0)
+	grants := 0
+	for _, ues := range sch.RB {
+		for _, ue := range ues {
+			if ue == 0 {
+				grants++
+			}
+		}
+	}
+	if grants > 1 {
+		t.Errorf("finite-buffer client granted %d RBs", grants)
+	}
+	// Every RB is still used by someone (the saturated client).
+	for b, ues := range sch.RB {
+		if len(ues) == 0 {
+			t.Errorf("RB %d left idle with backlogged traffic present", b)
+		}
+	}
+}
+
+func TestSpeculativeRespectsBacklog(t *testing.T) {
+	env := backlogEnv(3, 4, []float64{0, 1e9, 1e9})
+	env.M = 1
+	dist := &joint.Independent{P: []float64{0.4, 0.4, 0.4}}
+	spec, err := NewSpeculative(env, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := spec.Schedule(0)
+	for b, ues := range sch.RB {
+		for _, ue := range ues {
+			if ue == 0 {
+				t.Errorf("RB %d over-scheduled an empty-buffer client", b)
+			}
+		}
+	}
+}
+
+func TestAccessAwareRespectsBacklog(t *testing.T) {
+	env := backlogEnv(2, 3, []float64{0, 1e9})
+	dist := &joint.Independent{P: []float64{0.9, 0.5}}
+	aa, err := NewAccessAware(env, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := aa.Schedule(0)
+	for b, ues := range sch.RB {
+		for _, ue := range ues {
+			if ue == 0 {
+				t.Errorf("RB %d granted to empty-buffer client", b)
+			}
+		}
+	}
+}
+
+func TestNilBacklogMeansFullBuffer(t *testing.T) {
+	env := flatEnv(2, 4, 1, 0)
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := pf.Schedule(0)
+	total := 0
+	for _, ues := range sch.RB {
+		total += len(ues)
+	}
+	if total != 4 {
+		t.Errorf("full-buffer schedule granted %d of 4 RBs", total)
+	}
+}

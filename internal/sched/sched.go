@@ -1,0 +1,251 @@
+// Package sched implements the three uplink schedulers the paper
+// compares (Section 3.2):
+//
+//   - PF: the native proportional-fair scheduler of Eqn 1, which picks
+//     per-RB user groups (up to the antenna count M) maximizing marginal
+//     utility r_{i,b}/R_i, blind to unlicensed-band interference.
+//   - AccessAware: the weighted PF baseline of Eqn 5, which scales each
+//     client's metric by its individual access probability p(i) but
+//     cannot over-schedule (it lacks joint distributions).
+//   - Speculative: BLU's scheduler (Eqns 3–4), which over-schedules up
+//     to f·M clients per RB, chosen greedily to maximize the expected
+//     utility under the joint access distribution of the group —
+//     leveraging interference diversity while avoiding collision-prone
+//     groupings.
+//
+// All three share the PF average-throughput state R_i (EWMA, Section
+// 3.2.1) and the control-signaling limit of K distinct UEs per subframe.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"blu/internal/blueprint"
+	"blu/internal/lte"
+)
+
+// Env describes the scheduling problem instance shared by all
+// schedulers.
+type Env struct {
+	// NumUE is the number of clients N in the cell.
+	NumUE int
+	// NumRB is the number of schedulable resource-block units per
+	// subframe (the simulator schedules at RB-group granularity).
+	NumRB int
+	// M is the number of eNB antennas (max resolvable streams per RB).
+	M int
+	// K caps distinct UEs per subframe (control signaling, §3.3).
+	// K <= 0 means unlimited.
+	K int
+	// Alpha is the PF EWMA window (Section 3.2.1); typical 100–1000.
+	Alpha float64
+	// Rate returns UE ue's estimated single-stream goodput (bits per RB
+	// unit per subframe) on RB unit b in the current subframe, as the
+	// eNB would estimate from channel state.
+	Rate func(ue, b int) float64
+	// GroupScale derates the per-stream rate when n streams share an RB
+	// (MU-MIMO DoF sharing); GroupScale(1) must be 1. Nil means no
+	// derating.
+	GroupScale func(n int) float64
+	// Backlog, if non-nil, returns the bits client ue currently has
+	// queued — the footnote-1 finite-buffer coupling constraint. A
+	// scheduler stops granting a client within a subframe once its
+	// provisional grants cover the backlog; nil means full-buffer
+	// traffic (the paper's evaluation setting).
+	Backlog func(ue int) float64
+}
+
+// hasBacklog reports whether ue still has data beyond the bits already
+// provisionally granted this subframe.
+func (e Env) hasBacklog(ue int, granted float64) bool {
+	if e.Backlog == nil {
+		return true
+	}
+	return e.Backlog(ue) > granted
+}
+
+func (e Env) groupScale(n int) float64 {
+	if e.GroupScale == nil || n <= 1 {
+		return 1
+	}
+	return e.GroupScale(n)
+}
+
+func (e Env) validate() error {
+	if e.NumUE <= 0 || e.NumUE > blueprint.MaxClients {
+		return fmt.Errorf("sched: NumUE %d out of range", e.NumUE)
+	}
+	if e.NumRB <= 0 {
+		return fmt.Errorf("sched: NumRB %d out of range", e.NumRB)
+	}
+	if e.M <= 0 {
+		return fmt.Errorf("sched: M %d out of range", e.M)
+	}
+	if e.Rate == nil {
+		return fmt.Errorf("sched: Rate function is required")
+	}
+	return nil
+}
+
+// Scheduler is a per-subframe uplink scheduler.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment output.
+	Name() string
+	// Schedule allocates the RB units of uplink subframe sf.
+	Schedule(sf int) *lte.Schedule
+	// Observe feeds back the eNB receive results of subframe sf so the
+	// scheduler can update its PF averages.
+	Observe(sf int, results []lte.RBResult)
+	// AvgThroughput returns the PF average R_i (bits per subframe) of
+	// client i.
+	AvgThroughput(i int) float64
+}
+
+// pfState is the shared PF bookkeeping: R_i per client plus the
+// intra-subframe provisional load used to spread allocations across
+// clients within one subframe.
+type pfState struct {
+	env    Env
+	r      []float64 // R_i, bits per subframe (EWMA)
+	served []float64 // bits granted in the current subframe
+}
+
+func newPFState(env Env) *pfState {
+	s := &pfState{env: env, r: make([]float64, env.NumUE), served: make([]float64, env.NumUE)}
+	for i := range s.r {
+		s.r[i] = 1 // avoid the 1/R_i singularity before first service
+	}
+	return s
+}
+
+// metricDenom is the PF denominator including this subframe's
+// provisional grants, so one strong client does not absorb every RB of
+// the subframe.
+func (s *pfState) metricDenom(ue int) float64 {
+	return math.Max(s.r[ue]+s.served[ue]/s.env.Alpha, 1e-9)
+}
+
+func (s *pfState) beginSubframe() {
+	for i := range s.served {
+		s.served[i] = 0
+	}
+}
+
+func (s *pfState) noteGrant(ue int, bits float64) { s.served[ue] += bits }
+
+// observe applies the standard PF update
+// R_i ← x_i/α + (1−1/α)·R_i for every client, with x_i the bits
+// actually delivered this subframe.
+func (s *pfState) observe(results []lte.RBResult) {
+	delivered := make([]float64, s.env.NumUE)
+	for _, res := range results {
+		for i, ue := range res.Scheduled {
+			if ue >= 0 && ue < s.env.NumUE {
+				delivered[ue] += res.Bits[i]
+			}
+		}
+	}
+	a := s.env.Alpha
+	for i := range s.r {
+		s.r[i] = delivered[i]/a + (1-1/a)*s.r[i]
+	}
+}
+
+// ueBudget tracks the K distinct-UE control limit within a subframe.
+type ueBudget struct {
+	k    int
+	used map[int]bool
+}
+
+func newUEBudget(k int) *ueBudget { return &ueBudget{k: k, used: make(map[int]bool)} }
+
+// allows reports whether UE can still be introduced into the subframe.
+func (b *ueBudget) allows(ue int) bool {
+	if b.k <= 0 || b.used[ue] {
+		return true
+	}
+	return len(b.used) < b.k
+}
+
+func (b *ueBudget) note(ue int) {
+	if b.used != nil {
+		b.used[ue] = true
+	}
+}
+
+// PF is the native proportional-fair scheduler of Eqn 1.
+type PF struct {
+	st *pfState
+}
+
+// NewPF returns a PF scheduler for env.
+func NewPF(env Env) (*PF, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if env.Alpha <= 1 {
+		env.Alpha = 100
+	}
+	return &PF{st: newPFState(env)}, nil
+}
+
+// Name implements Scheduler.
+func (p *PF) Name() string { return "PF" }
+
+// AvgThroughput implements Scheduler.
+func (p *PF) AvgThroughput(i int) float64 { return p.st.r[i] }
+
+// Observe implements Scheduler.
+func (p *PF) Observe(_ int, results []lte.RBResult) { p.st.observe(results) }
+
+// Schedule implements Scheduler: per RB unit, greedily grow a group of
+// up to M clients maximizing Σ r_{i,b,|G|}/R_i.
+func (p *PF) Schedule(_ int) *lte.Schedule {
+	env := p.st.env
+	p.st.beginSubframe()
+	sch := lte.NewSchedule(env.NumRB)
+	budget := newUEBudget(env.K)
+	for b := 0; b < env.NumRB; b++ {
+		group := greedyPFGroup(p.st, budget, b)
+		sch.RB[b] = group
+		for _, ue := range group {
+			budget.note(ue)
+			p.st.noteGrant(ue, env.Rate(ue, b)*env.groupScale(len(group)))
+		}
+	}
+	return sch
+}
+
+// greedyPFGroup builds the Eqn-1 group for RB b: add the client with the
+// best marginal utility until utility stops increasing or M is reached.
+func greedyPFGroup(st *pfState, budget *ueBudget, b int) []int {
+	env := st.env
+	var group []int
+	in := make([]bool, env.NumUE)
+	current := 0.0
+	for len(group) < env.M {
+		bestUE, bestUtil := -1, current
+		scale := env.groupScale(len(group) + 1)
+		for ue := 0; ue < env.NumUE; ue++ {
+			if in[ue] || !budget.allows(ue) || !env.hasBacklog(ue, st.served[ue]) {
+				continue
+			}
+			util := 0.0
+			for _, g := range group {
+				util += env.Rate(g, b) * scale / st.metricDenom(g)
+			}
+			util += env.Rate(ue, b) * scale / st.metricDenom(ue)
+			if util > bestUtil+1e-15 {
+				bestUE, bestUtil = ue, util
+			}
+		}
+		if bestUE < 0 {
+			break
+		}
+		group = append(group, bestUE)
+		in[bestUE] = true
+		current = bestUtil
+	}
+	return group
+}

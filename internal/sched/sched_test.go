@@ -1,0 +1,299 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"blu/internal/blueprint"
+	"blu/internal/joint"
+	"blu/internal/lte"
+	"blu/internal/phy"
+)
+
+// flatEnv builds a test environment with uniform rates.
+func flatEnv(n, rb, m, k int) Env {
+	return Env{
+		NumUE: n,
+		NumRB: rb,
+		M:     m,
+		K:     k,
+		Alpha: 100,
+		Rate:  func(ue, b int) float64 { return 1000 },
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	bad := []Env{
+		{NumUE: 0, NumRB: 1, M: 1, Rate: func(int, int) float64 { return 1 }},
+		{NumUE: 1, NumRB: 0, M: 1, Rate: func(int, int) float64 { return 1 }},
+		{NumUE: 1, NumRB: 1, M: 0, Rate: func(int, int) float64 { return 1 }},
+		{NumUE: 1, NumRB: 1, M: 1},
+	}
+	for i, env := range bad {
+		if _, err := NewPF(env); err == nil {
+			t.Errorf("case %d: invalid env accepted", i)
+		}
+	}
+}
+
+func TestPFSISOSchedulesOnePerRB(t *testing.T) {
+	pf, err := NewPF(flatEnv(6, 4, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := pf.Schedule(0)
+	if len(sch.RB) != 4 {
+		t.Fatalf("RBs = %d", len(sch.RB))
+	}
+	for b, ues := range sch.RB {
+		if len(ues) != 1 {
+			t.Errorf("RB %d has %d UEs under SISO PF", b, len(ues))
+		}
+	}
+}
+
+func TestPFRespectsK(t *testing.T) {
+	pf, err := NewPF(flatEnv(20, 10, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := pf.Schedule(0)
+	if err := sch.Validate(4); err != nil {
+		t.Errorf("K violated: %v", err)
+	}
+}
+
+func TestPFMUMIMOGroupSize(t *testing.T) {
+	env := flatEnv(8, 2, 3, 0)
+	env.GroupScale = func(n int) float64 { return 1 } // no penalty: fill to M
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := pf.Schedule(0)
+	for b, ues := range sch.RB {
+		if len(ues) != 3 {
+			t.Errorf("RB %d group = %d, want M=3 with no derating", b, len(ues))
+		}
+	}
+	// With a harsh penalty the group stays small.
+	env.GroupScale = func(n int) float64 {
+		if n > 1 {
+			return 0.1
+		}
+		return 1
+	}
+	pf2, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch = pf2.Schedule(0)
+	for b, ues := range sch.RB {
+		if len(ues) != 1 {
+			t.Errorf("RB %d group = %d, want 1 under harsh derating", b, len(ues))
+		}
+	}
+}
+
+func TestPFLongRunFairnessFlat(t *testing.T) {
+	// With identical rates and full access, PF must serve clients
+	// near-equally over time.
+	env := flatEnv(5, 1, 1, 0)
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make([]float64, 5)
+	for sf := 0; sf < 2000; sf++ {
+		sch := pf.Schedule(sf)
+		results := make([]lte.RBResult, len(sch.RB))
+		for b, ues := range sch.RB {
+			res := lte.RBResult{Scheduled: ues}
+			for range ues {
+				res.Outcomes = append(res.Outcomes, lte.OutcomeSuccess)
+				res.Bits = append(res.Bits, 1000)
+			}
+			results[b] = res
+			for _, ue := range ues {
+				served[ue] += 1000
+			}
+		}
+		pf.Observe(sf, results)
+	}
+	mean := 0.0
+	for _, s := range served {
+		mean += s
+	}
+	mean /= 5
+	for ue, s := range served {
+		if math.Abs(s-mean)/mean > 0.05 {
+			t.Errorf("UE %d served %v, mean %v: unfair", ue, s, mean)
+		}
+	}
+}
+
+func TestAccessAwarePrefersAccessibleClients(t *testing.T) {
+	env := flatEnv(2, 1, 1, 0)
+	dist := &joint.Independent{P: []float64{0.9, 0.2}}
+	aa, err := NewAccessAware(env, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First subframe (equal R): the accessible client must win.
+	sch := aa.Schedule(0)
+	if len(sch.RB[0]) != 1 || sch.RB[0][0] != 0 {
+		t.Errorf("AA scheduled %v, want client 0", sch.RB[0])
+	}
+}
+
+func TestSpeculativeOverSchedulesDisjointInterference(t *testing.T) {
+	// Two clients silenced by different hidden terminals: BLU should
+	// put both on the same RB (interference diversity), and never pair
+	// two clients sharing a terminal when a diverse one exists.
+	// (q = 0.6 → p = 0.4: over-scheduling a diverse pair yields
+	// 2·p(1−p) = 0.48 > 0.4; pairing same-terminal clients yields no
+	// diversity at all, P(i, j̄) = 0.)
+	topo := &blueprint.Topology{N: 4, HTs: []blueprint.HiddenTerminal{
+		{Q: 0.6, Clients: blueprint.NewClientSet(0, 1)},
+		{Q: 0.6, Clients: blueprint.NewClientSet(2, 3)},
+	}}
+	env := flatEnv(4, 4, 1, 0)
+	spec, err := NewSpeculative(env, joint.NewCalculator(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := spec.Schedule(0)
+	for b, ues := range sch.RB {
+		if len(ues) != 2 {
+			t.Fatalf("RB %d: group %v, want over-scheduled pair", b, ues)
+		}
+		set := blueprint.NewClientSet(ues...)
+		// The pair must straddle the two hidden terminals.
+		if set == blueprint.NewClientSet(0, 1) || set == blueprint.NewClientSet(2, 3) {
+			t.Errorf("RB %d paired clients sharing a hidden terminal: %v", b, ues)
+		}
+	}
+}
+
+func TestSpeculativeRespectsOverFactorCap(t *testing.T) {
+	topo := &blueprint.Topology{N: 10}
+	for i := 0; i < 10; i++ {
+		topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{
+			Q: 0.6, Clients: blueprint.NewClientSet(i),
+		})
+	}
+	env := flatEnv(10, 2, 2, 0)
+	spec, err := NewSpeculative(env, joint.NewCalculator(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.OverFactor = 1.5
+	sch := spec.Schedule(0)
+	for b, ues := range sch.RB {
+		if len(ues) > 3 { // 1.5 × M=2
+			t.Errorf("RB %d group %d exceeds f·M=3", b, len(ues))
+		}
+	}
+}
+
+func TestSpeculativeNoInterferenceReducesToPF(t *testing.T) {
+	// With p(i)=1 for all, over-scheduling a second SISO client can
+	// only cause collisions; the speculative scheduler must stay at
+	// one client per RB.
+	topo := &blueprint.Topology{N: 6}
+	env := flatEnv(6, 3, 1, 0)
+	spec, err := NewSpeculative(env, joint.NewCalculator(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := spec.Schedule(0)
+	for b, ues := range sch.RB {
+		if len(ues) != 1 {
+			t.Errorf("RB %d group %v under zero interference", b, ues)
+		}
+	}
+}
+
+// TestSpeculativeExpectedUtilityBruteForce verifies the subset-sum
+// implementation of Eqn 4 against a direct enumeration.
+func TestSpeculativeExpectedUtilityBruteForce(t *testing.T) {
+	topo := &blueprint.Topology{N: 5, HTs: []blueprint.HiddenTerminal{
+		{Q: 0.4, Clients: blueprint.NewClientSet(0, 1)},
+		{Q: 0.3, Clients: blueprint.NewClientSet(1, 2, 3)},
+		{Q: 0.2, Clients: blueprint.NewClientSet(4)},
+	}}
+	calc := joint.NewCalculator(topo)
+	env := flatEnv(5, 1, 2, 0)
+	env.Rate = func(ue, b int) float64 { return 100 * float64(ue+1) }
+	env.GroupScale = func(n int) float64 {
+		pen := phy.MUMIMOStreamSINRdB(0, 2, n)
+		if math.IsInf(pen, -1) {
+			return 0
+		}
+		return math.Max(0.1, 1+pen*0.08)
+	}
+	spec, err := NewSpeculative(env, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := blueprint.NewClientSet(0, 2, 3, 4)
+	got := spec.expectedUtility(group, 0)
+
+	// Brute force: enumerate subsets S of the group, compute
+	// P(S clear, rest blocked) × Σ_{i∈S} r_i·scale(|S|)/R_i for |S|<=M.
+	members := group.Members()
+	var want float64
+	for mask := 1; mask < 1<<len(members); mask++ {
+		var s blueprint.ClientSet
+		size := 0
+		var util float64
+		for j, ue := range members {
+			if mask&(1<<j) != 0 {
+				s = s.Add(ue)
+				size++
+				util += env.Rate(ue, 0) / spec.st.metricDenom(ue)
+			}
+		}
+		if size > env.M {
+			continue
+		}
+		want += calc.Prob(s, group.Minus(s)) * util * env.GroupScale(size)
+	}
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("expectedUtility = %v, brute force %v", got, want)
+	}
+}
+
+func TestPFObserveUpdatesAverages(t *testing.T) {
+	env := flatEnv(2, 1, 1, 0)
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pf.AvgThroughput(0)
+	pf.Observe(0, []lte.RBResult{{
+		Scheduled: []int{0},
+		Outcomes:  []lte.Outcome{lte.OutcomeSuccess},
+		Bits:      []float64{5000},
+	}})
+	if pf.AvgThroughput(0) <= before {
+		t.Error("served client's average did not rise")
+	}
+	served := pf.AvgThroughput(0)
+	// Unserved subframes decay the average.
+	pf.Observe(1, nil)
+	if pf.AvgThroughput(0) >= served {
+		t.Error("average did not decay on idle subframe")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	env := flatEnv(2, 1, 1, 0)
+	dist := &joint.Independent{P: []float64{1, 1}}
+	pf, _ := NewPF(env)
+	aa, _ := NewAccessAware(env, dist)
+	sp, _ := NewSpeculative(env, dist)
+	if pf.Name() != "PF" || aa.Name() != "AA" || sp.Name() != "BLU" {
+		t.Error("scheduler names wrong")
+	}
+}

@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"math"
+	"math/bits"
+
+	"blu/internal/blueprint"
+	"blu/internal/joint"
+	"blu/internal/lte"
+)
+
+// Speculative is BLU's scheduler (Section 3.2.2): it over-schedules up
+// to OverFactor·M clients per RB, growing each RB's group greedily by
+// the client that maximizes the *expected* utility increment under the
+// joint access distribution of the group (Eqns 3–4):
+//
+//	E(G) = Σ_{g ⊆ G, |g| ≤ M} P(g, G\g blocked) · Σ_{i∈g} r_{i,b,|g|}/R_i
+//
+// Outcomes where more than M scheduled clients transmit are collisions
+// and contribute nothing, which is what disciplines the over-scheduling.
+type Speculative struct {
+	st   *pfState
+	dist joint.Distribution
+
+	// OverFactor is f in the paper's [M, f·M] over-scheduling range
+	// (default 2).
+	OverFactor float64
+	// CandidateLimit caps how many clients are exactly evaluated per
+	// greedy step, pre-ranked by the access-weighted PF heuristic
+	// (default 12; <= 0 evaluates every client).
+	CandidateLimit int
+
+	groups *groupDistCache
+}
+
+// NewSpeculative returns BLU's speculative scheduler drawing joint
+// access distributions from dist (typically a joint.Calculator over the
+// inferred blueprint).
+func NewSpeculative(env Env, dist joint.Distribution) (*Speculative, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if env.Alpha <= 1 {
+		env.Alpha = 100
+	}
+	return &Speculative{
+		st:             newPFState(env),
+		dist:           dist,
+		OverFactor:     2,
+		CandidateLimit: 12,
+		groups:         newGroupDistCache(dist),
+	}, nil
+}
+
+// Name implements Scheduler.
+func (s *Speculative) Name() string { return "BLU" }
+
+// AvgThroughput implements Scheduler.
+func (s *Speculative) AvgThroughput(i int) float64 { return s.st.r[i] }
+
+// Observe implements Scheduler.
+func (s *Speculative) Observe(_ int, results []lte.RBResult) { s.st.observe(results) }
+
+// SetDistribution swaps the joint-distribution source, e.g. after
+// re-blueprinting at the start of a new speculative phase. The group
+// distribution cache is invalidated.
+func (s *Speculative) SetDistribution(dist joint.Distribution) {
+	s.dist = dist
+	s.groups = newGroupDistCache(dist)
+}
+
+// maxGroup returns the over-scheduling cap f·M (at least M).
+func (s *Speculative) maxGroup() int {
+	f := s.OverFactor
+	if f < 1 {
+		f = 1
+	}
+	g := int(math.Round(f * float64(s.st.env.M)))
+	if g < s.st.env.M {
+		g = s.st.env.M
+	}
+	if g > 16 {
+		g = 16 // expected-utility enumeration is 2^|G|
+	}
+	return g
+}
+
+// Schedule implements Scheduler.
+func (s *Speculative) Schedule(_ int) *lte.Schedule {
+	env := s.st.env
+	s.st.beginSubframe()
+	sch := lte.NewSchedule(env.NumRB)
+	budget := newUEBudget(env.K)
+	for b := 0; b < env.NumRB; b++ {
+		group := s.speculativeGroup(budget, b)
+		sch.RB[b] = group
+		for _, ue := range group {
+			budget.note(ue)
+			s.st.noteGrant(ue, s.dist.Marginal(ue)*env.Rate(ue, b))
+		}
+	}
+	return sch
+}
+
+// speculativeGroup grows one RB's group per Eqn 3: repeatedly add the
+// client ℓ* maximizing E(G ∪ ℓ) − E(G); stop when no client improves
+// the expected utility or the f·M cap is reached.
+func (s *Speculative) speculativeGroup(budget *ueBudget, b int) []int {
+	var set blueprint.ClientSet
+	var group []int
+	current := 0.0
+	limit := s.maxGroup()
+	for len(group) < limit {
+		cands := s.rankCandidates(set, budget, b)
+		bestUE, bestUtil := -1, current
+		for _, ue := range cands {
+			util := s.expectedUtility(set.Add(ue), b)
+			if util > bestUtil+1e-15 {
+				bestUE, bestUtil = ue, util
+			}
+		}
+		if bestUE < 0 {
+			break
+		}
+		group = append(group, bestUE)
+		set = set.Add(bestUE)
+		current = bestUtil
+	}
+	return group
+}
+
+// rankCandidates orders the eligible clients by the access-weighted PF
+// heuristic p(i)·r_{i,b}/R_i and returns the top CandidateLimit of them
+// for exact expected-utility evaluation.
+func (s *Speculative) rankCandidates(set blueprint.ClientSet, budget *ueBudget, b int) []int {
+	env := s.st.env
+	type scored struct {
+		ue    int
+		score float64
+	}
+	var cands []scored
+	for ue := 0; ue < env.NumUE; ue++ {
+		if set.Has(ue) || !budget.allows(ue) || !env.hasBacklog(ue, s.st.served[ue]) {
+			continue
+		}
+		cands = append(cands, scored{
+			ue:    ue,
+			score: s.dist.Marginal(ue) * env.Rate(ue, b) / s.st.metricDenom(ue),
+		})
+	}
+	// Partial selection sort for the top-L scores: L is small.
+	limit := s.CandidateLimit
+	if limit <= 0 || limit > len(cands) {
+		limit = len(cands)
+	}
+	for i := 0; i < limit; i++ {
+		maxJ := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].score > cands[maxJ].score {
+				maxJ = j
+			}
+		}
+		cands[i], cands[maxJ] = cands[maxJ], cands[i]
+	}
+	out := make([]int, 0, limit)
+	for _, c := range cands[:limit] {
+		out = append(out, c.ue)
+	}
+	return out
+}
+
+// expectedUtility evaluates Eqn 4 for the group on RB b.
+func (s *Speculative) expectedUtility(group blueprint.ClientSet, b int) float64 {
+	env := s.st.env
+	members, exact := s.groups.get(group)
+	m := len(members)
+	// w[j] = r_{member_j, b}/R_{member_j}; the |g|-dependent MU-MIMO
+	// scale factors out of the inner sum.
+	w := make([]float64, m)
+	for j, ue := range members {
+		w[j] = env.Rate(ue, b) / s.st.metricDenom(ue)
+	}
+	// subsetSum[mask] = Σ_{j ∈ mask} w[j], built incrementally.
+	total := 0.0
+	subsetSum := make([]float64, 1<<uint(m))
+	for mask := 1; mask < 1<<uint(m); mask++ {
+		low := mask & -mask
+		subsetSum[mask] = subsetSum[mask&(mask-1)] + w[bits.TrailingZeros32(uint32(low))]
+		n := bits.OnesCount32(uint32(mask))
+		if n > env.M {
+			continue // collision outcome: zero utility
+		}
+		if p := exact[mask]; p > 0 {
+			total += p * subsetSum[mask] * env.groupScale(n)
+		}
+	}
+	return total
+}
+
+// groupDistCache memoizes, per client group, the exact probability of
+// every "which subset transmitted" outcome. The distribution depends
+// only on the (fixed) blueprint, so entries are reused across all RBs
+// and subframes of a speculative phase.
+type groupDistCache struct {
+	dist    joint.Distribution
+	entries map[blueprint.ClientSet]groupDistEntry
+}
+
+type groupDistEntry struct {
+	members []int
+	// exact[mask] = P(exactly the clients of mask transmit, rest of the
+	// group blocked), indexed by bitmask over members.
+	exact []float64
+}
+
+func newGroupDistCache(dist joint.Distribution) *groupDistCache {
+	return &groupDistCache{dist: dist, entries: make(map[blueprint.ClientSet]groupDistEntry)}
+}
+
+func (c *groupDistCache) get(group blueprint.ClientSet) ([]int, []float64) {
+	if e, ok := c.entries[group]; ok {
+		return e.members, e.exact
+	}
+	members := group.Members()
+	m := len(members)
+	exact := make([]float64, 1<<uint(m))
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		var clear blueprint.ClientSet
+		for j := 0; j < m; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				clear = clear.Add(members[j])
+			}
+		}
+		exact[mask] = c.dist.Prob(clear, group.Minus(clear))
+	}
+	c.entries[group] = groupDistEntry{members: members, exact: exact}
+	return members, exact
+}

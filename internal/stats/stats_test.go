@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	if got, _ := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-sample percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if q, _ := c.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", q)
+	}
+	if q, _ := c.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", q)
+	}
+	if _, err := c.Quantile(1.5); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+	if pts := c.Points(3); len(pts) != 3 || pts[2][1] != 1 {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestCDFQuantileAtInverse(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		c := NewCDF(xs)
+		for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+			v, err := c.Quantile(q)
+			if err != nil {
+				return false
+			}
+			// F(Quantile(q)) >= q by definition.
+			if c.At(v) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(10)
+	if got := e.Update(100); got != 100 {
+		t.Errorf("first update = %v, want seed value", got)
+	}
+	got := e.Update(0)
+	want := 0.0/10 + 0.9*100
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("second update = %v, want %v", got, want)
+	}
+	e.Decay()
+	if e.Value() >= got {
+		t.Error("decay did not reduce value")
+	}
+	e.Set(5)
+	if e.Value() != 5 {
+		t.Error("Set did not override")
+	}
+}
+
+func TestEWMAAlphaFloor(t *testing.T) {
+	e := NewEWMA(0.1) // clamped to 1: no memory
+	e.Update(3)
+	e.Update(7)
+	if e.Value() != 7 {
+		t.Errorf("alpha=1 EWMA = %v, want last sample", e.Value())
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%v, %v] excludes the point estimate", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide for n=100: [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("no-data interval = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 10)
+	if lo != 0 || hi < 0.05 {
+		t.Errorf("zero-successes interval = [%v, %v]", lo, hi)
+	}
+	// Interval shrinks with n.
+	_, hi1 := WilsonInterval(5, 10)
+	lo2, hi2 := WilsonInterval(500, 1000)
+	if hi2-lo2 >= hi1-0.5 {
+		t.Error("interval did not shrink with sample size")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-1, 0, 0.1, 0.5, 0.9, 1.0, 2.0}
+	h := Histogram(xs, 0, 1, 2)
+	if len(h) != 2 {
+		t.Fatalf("bins = %v", h)
+	}
+	// -1 and 0 and 0.1 clamp/fall into bin 0; 0.5, 0.9, 1.0, 2.0 in bin 1.
+	if h[0] != 3 || h[1] != 4 {
+		t.Errorf("histogram = %v", h)
+	}
+	if Histogram(xs, 1, 0, 2) != nil || Histogram(xs, 0, 1, 0) != nil {
+		t.Error("invalid configs not rejected")
+	}
+}

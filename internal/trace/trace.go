@@ -1,0 +1,272 @@
+// Package trace implements the paper's trace-based emulation
+// methodology (Section 4.2): recording per-UE LTE channel traces and
+// per-station WiFi interference traces from testbed-scale runs,
+// combining traces from different small topologies into large emulated
+// ones (up to 24 UEs and 36 hidden terminals), and serializing them.
+//
+// A trace is self-contained: replaying it through the simulator
+// reproduces the exact access outcomes and channel states of the
+// recorded run without the original scenario geometry.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"blu/internal/blueprint"
+	"blu/internal/wifi"
+)
+
+// FormatVersion identifies the on-disk trace schema.
+const FormatVersion = 1
+
+// ChannelTrace is one UE's uplink channel against the eNB.
+type ChannelTrace struct {
+	// MeanSNRdB is the average uplink SNR the eNB schedules against.
+	MeanSNRdB float64 `json:"mean_snr_db"`
+	// FadeDB[sf] is the per-subframe fading deviation in dB.
+	FadeDB []float64 `json:"fade_db"`
+}
+
+// InterferenceTrace is one WiFi station's activity as captured by the
+// promiscuous-mode UEs (the paper's WARP 802.11 reference-design
+// capture), time-synchronized with the LTE trace.
+type InterferenceTrace struct {
+	// Busy holds the station's on-air intervals in microseconds.
+	Busy []wifi.Interval `json:"busy"`
+	// Edges is the set of UEs that sense this station (ground truth
+	// from the capture).
+	Edges blueprint.ClientSet `json:"edges"`
+	// HiddenFromENB records whether the eNB cannot sense the station.
+	HiddenFromENB bool `json:"hidden_from_enb"`
+	// Airtime is the station's busy fraction over the trace horizon.
+	Airtime float64 `json:"airtime"`
+}
+
+// Trace is one recorded (or emulated-by-combination) topology run.
+type Trace struct {
+	Version   int    `json:"version"`
+	Label     string `json:"label,omitempty"`
+	NumUE     int    `json:"num_ue"`
+	Subframes int    `json:"subframes"`
+	// HorizonUS is the trace length in microseconds.
+	HorizonUS int64 `json:"horizon_us"`
+
+	Channels     []ChannelTrace      `json:"channels"`
+	Interference []InterferenceTrace `json:"interference"`
+}
+
+// Validate checks structural consistency.
+func (t *Trace) Validate() error {
+	if t.NumUE <= 0 || t.NumUE > blueprint.MaxClients {
+		return fmt.Errorf("trace: NumUE %d out of range", t.NumUE)
+	}
+	if len(t.Channels) != t.NumUE {
+		return fmt.Errorf("trace: %d channel traces for %d UEs", len(t.Channels), t.NumUE)
+	}
+	if t.Subframes <= 0 {
+		return fmt.Errorf("trace: no subframes")
+	}
+	full := blueprint.ClientSet(0)
+	for i := 0; i < t.NumUE; i++ {
+		full = full.Add(i)
+	}
+	for i, ch := range t.Channels {
+		if len(ch.FadeDB) != t.Subframes {
+			return fmt.Errorf("trace: channel %d has %d fade samples, want %d", i, len(ch.FadeDB), t.Subframes)
+		}
+	}
+	for k, it := range t.Interference {
+		if !full.Contains(it.Edges) {
+			return fmt.Errorf("trace: station %d has edges %v outside UE range", k, it.Edges)
+		}
+		var prev int64 = -1
+		for _, iv := range it.Busy {
+			if iv.Start < prev || iv.End < iv.Start {
+				return fmt.Errorf("trace: station %d busy intervals not sorted/valid", k)
+			}
+			prev = iv.End
+		}
+	}
+	return nil
+}
+
+// GroundTruth builds the blueprint this trace's interference implies:
+// one hidden terminal per station that is hidden from the eNB and
+// blocks at least one UE, with the station's airtime as q(k).
+func (t *Trace) GroundTruth() *blueprint.Topology {
+	topo := &blueprint.Topology{N: t.NumUE}
+	for _, it := range t.Interference {
+		if !it.HiddenFromENB || it.Edges.Empty() || it.Airtime <= 0 {
+			continue
+		}
+		q := it.Airtime
+		if q >= 1 {
+			q = 1 - 1e-9
+		}
+		topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{Q: q, Clients: it.Edges})
+	}
+	return topo.Normalize()
+}
+
+// CombineInterference emulates a larger hidden-terminal topology for a
+// fixed UE set-up by overlaying the interference of extra traces onto
+// base (the paper combines traces collected with hidden terminals moved
+// to different locations). All traces must share the UE count; the
+// result is truncated to the shortest horizon.
+func CombineInterference(base *Trace, extras ...*Trace) (*Trace, error) {
+	out := cloneTrace(base)
+	for _, e := range extras {
+		if e.NumUE != base.NumUE {
+			return nil, fmt.Errorf("trace: combining interference across different UE counts (%d vs %d)", e.NumUE, base.NumUE)
+		}
+		if e.Subframes < out.Subframes {
+			out.truncate(e.Subframes)
+		}
+		for _, it := range e.Interference {
+			out.Interference = append(out.Interference, clipInterference(it, out.HorizonUS))
+		}
+	}
+	out.Label = base.Label + "+interference"
+	return out, nil
+}
+
+// CombineUEs emulates a larger UE topology for a given hidden-terminal
+// set-up by unioning the UE populations of several traces: UE indices
+// of later traces are shifted past the earlier ones, and every
+// station's edge set is shifted accordingly. The result is truncated to
+// the shortest horizon.
+func CombineUEs(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: no traces to combine")
+	}
+	out := cloneTrace(traces[0])
+	for _, t := range traces[1:] {
+		if t.Subframes < out.Subframes {
+			out.truncate(t.Subframes)
+		}
+		shift := out.NumUE
+		if shift+t.NumUE > blueprint.MaxClients {
+			return nil, fmt.Errorf("trace: combined UE count %d exceeds %d", shift+t.NumUE, blueprint.MaxClients)
+		}
+		for i := 0; i < t.NumUE; i++ {
+			ch := t.Channels[i]
+			ch.FadeDB = append([]float64(nil), ch.FadeDB[:out.Subframes]...)
+			out.Channels = append(out.Channels, ch)
+		}
+		for _, it := range t.Interference {
+			shifted := clipInterference(it, out.HorizonUS)
+			var edges blueprint.ClientSet
+			it.Edges.ForEach(func(i int) { edges = edges.Add(i + shift) })
+			shifted.Edges = edges
+			out.Interference = append(out.Interference, shifted)
+		}
+		out.NumUE += t.NumUE
+	}
+	out.Label = "combined-ues"
+	return out, out.Validate()
+}
+
+func cloneTrace(t *Trace) *Trace {
+	c := &Trace{
+		Version:   FormatVersion,
+		Label:     t.Label,
+		NumUE:     t.NumUE,
+		Subframes: t.Subframes,
+		HorizonUS: t.HorizonUS,
+	}
+	for _, ch := range t.Channels {
+		c.Channels = append(c.Channels, ChannelTrace{
+			MeanSNRdB: ch.MeanSNRdB,
+			FadeDB:    append([]float64(nil), ch.FadeDB...),
+		})
+	}
+	for _, it := range t.Interference {
+		c.Interference = append(c.Interference, clipInterference(it, t.HorizonUS))
+	}
+	return c
+}
+
+func clipInterference(it InterferenceTrace, horizonUS int64) InterferenceTrace {
+	out := InterferenceTrace{
+		Edges:         it.Edges,
+		HiddenFromENB: it.HiddenFromENB,
+	}
+	var busyTotal int64
+	for _, iv := range it.Busy {
+		if iv.Start >= horizonUS {
+			break
+		}
+		if iv.End > horizonUS {
+			iv.End = horizonUS
+		}
+		out.Busy = append(out.Busy, iv)
+		busyTotal += iv.Duration()
+	}
+	if horizonUS > 0 {
+		out.Airtime = float64(busyTotal) / float64(horizonUS)
+	}
+	return out
+}
+
+// truncate shortens the trace to the given subframe count.
+func (t *Trace) truncate(subframes int) {
+	if subframes >= t.Subframes {
+		return
+	}
+	t.Subframes = subframes
+	t.HorizonUS = int64(subframes) * 1000
+	for i := range t.Channels {
+		t.Channels[i].FadeDB = t.Channels[i].FadeDB[:subframes]
+	}
+	for k := range t.Interference {
+		t.Interference[k] = clipInterference(t.Interference[k], t.HorizonUS)
+	}
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	t.Version = FormatVersion
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Read parses a trace and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", t.Version)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"blu/internal/blueprint"
+	"blu/internal/wifi"
+)
+
+func sampleTrace(nUE, subframes int) *Trace {
+	t := &Trace{
+		Version:   FormatVersion,
+		Label:     "sample",
+		NumUE:     nUE,
+		Subframes: subframes,
+		HorizonUS: int64(subframes) * 1000,
+	}
+	for i := 0; i < nUE; i++ {
+		fade := make([]float64, subframes)
+		for sf := range fade {
+			fade[sf] = float64((sf+i)%7) - 3
+		}
+		t.Channels = append(t.Channels, ChannelTrace{MeanSNRdB: 30 + float64(i), FadeDB: fade})
+	}
+	t.Interference = append(t.Interference, InterferenceTrace{
+		Busy:          []wifi.Interval{{Start: 0, End: 500}, {Start: 2000, End: 2600}},
+		Edges:         blueprint.NewClientSet(0),
+		HiddenFromENB: true,
+		Airtime:       1100 / float64(t.HorizonUS),
+	})
+	t.Interference = append(t.Interference, InterferenceTrace{
+		Busy:          []wifi.Interval{{Start: 1500, End: 1800}},
+		Edges:         blueprint.NewClientSet(0, 1),
+		HiddenFromENB: true,
+		Airtime:       300 / float64(t.HorizonUS),
+	})
+	return t
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTrace(2, 10)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := sampleTrace(2, 10)
+	bad.Channels = bad.Channels[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("channel-count mismatch accepted")
+	}
+	bad = sampleTrace(2, 10)
+	bad.Channels[0].FadeDB = bad.Channels[0].FadeDB[:5]
+	if err := bad.Validate(); err == nil {
+		t.Error("short fade trace accepted")
+	}
+	bad = sampleTrace(2, 10)
+	bad.Interference[0].Edges = blueprint.NewClientSet(5)
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edges accepted")
+	}
+	bad = sampleTrace(2, 10)
+	bad.Interference[0].Busy = []wifi.Interval{{Start: 100, End: 50}}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := sampleTrace(3, 20)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUE != tr.NumUE || got.Subframes != tr.Subframes || got.Label != tr.Label {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Channels) != 3 || len(got.Interference) != 2 {
+		t.Fatalf("contents mismatch")
+	}
+	if got.Channels[2].MeanSNRdB != 32 {
+		t.Errorf("channel data mismatch")
+	}
+	if got.Interference[1].Edges != blueprint.NewClientSet(0, 1) {
+		t.Errorf("edges mismatch: %v", got.Interference[1].Edges)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	tr := sampleTrace(1, 5)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Replace(buf.Bytes(), []byte(`"version":1`), []byte(`"version":99`), 1)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := sampleTrace(2, 15)
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUE != 2 || got.Subframes != 15 {
+		t.Errorf("loaded %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	tr := sampleTrace(2, 10)
+	gt := tr.GroundTruth()
+	if len(gt.HTs) != 2 {
+		t.Fatalf("ground truth %v", gt)
+	}
+	// A station audible at the eNB is excluded.
+	tr.Interference[0].HiddenFromENB = false
+	if got := tr.GroundTruth(); len(got.HTs) != 1 {
+		t.Errorf("audible station kept: %v", got)
+	}
+}
+
+func TestCombineUEs(t *testing.T) {
+	a := sampleTrace(2, 10)
+	b := sampleTrace(2, 8) // shorter: result truncates to 8
+	combined, err := CombineUEs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.NumUE != 4 {
+		t.Errorf("NumUE = %d", combined.NumUE)
+	}
+	if combined.Subframes != 8 {
+		t.Errorf("Subframes = %d, want truncation to 8", combined.Subframes)
+	}
+	if err := combined.Validate(); err != nil {
+		t.Fatalf("combined trace invalid: %v", err)
+	}
+	// Second trace's edges are shifted past the first trace's UEs.
+	found := false
+	for _, it := range combined.Interference {
+		if it.Edges == blueprint.NewClientSet(2, 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("shifted edge set {2,3} not found")
+	}
+	// Busy intervals are clipped to the shorter horizon.
+	for _, it := range combined.Interference {
+		for _, iv := range it.Busy {
+			if iv.End > combined.HorizonUS {
+				t.Errorf("interval %+v beyond horizon", iv)
+			}
+		}
+	}
+	if _, err := CombineUEs(); err == nil {
+		t.Error("empty combine accepted")
+	}
+}
+
+func TestCombineUEsDoesNotMutateInputs(t *testing.T) {
+	a := sampleTrace(2, 10)
+	b := sampleTrace(2, 8)
+	origSubframes := a.Subframes
+	origFadeLen := len(a.Channels[0].FadeDB)
+	if _, err := CombineUEs(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Subframes != origSubframes || len(a.Channels[0].FadeDB) != origFadeLen {
+		t.Error("CombineUEs mutated its input")
+	}
+}
+
+func TestCombineInterference(t *testing.T) {
+	base := sampleTrace(2, 10)
+	extra := sampleTrace(2, 10)
+	combined, err := CombineInterference(base, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.NumUE != 2 {
+		t.Errorf("NumUE changed: %d", combined.NumUE)
+	}
+	if len(combined.Interference) != 4 {
+		t.Errorf("stations = %d, want 4", len(combined.Interference))
+	}
+	if err := combined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mismatched := sampleTrace(3, 10)
+	if _, err := CombineInterference(base, mismatched); err == nil {
+		t.Error("UE-count mismatch accepted")
+	}
+}
+
+func TestCombineUEsRespectsClientLimit(t *testing.T) {
+	var traces []*Trace
+	for i := 0; i < 5; i++ {
+		traces = append(traces, sampleTrace(16, 5))
+	}
+	if _, err := CombineUEs(traces...); err == nil {
+		t.Error("80 combined UEs accepted beyond the 64-client limit")
+	}
+}
+
+func TestClipRecomputesAirtime(t *testing.T) {
+	it := InterferenceTrace{
+		Busy: []wifi.Interval{{Start: 0, End: 500}, {Start: 900, End: 1200}},
+	}
+	clipped := clipInterference(it, 1000)
+	if len(clipped.Busy) != 2 || clipped.Busy[1].End != 1000 {
+		t.Errorf("clip = %+v", clipped.Busy)
+	}
+	if math.Abs(clipped.Airtime-0.6) > 1e-12 {
+		t.Errorf("airtime = %v, want 0.6", clipped.Airtime)
+	}
+}
