@@ -61,38 +61,56 @@ func BenchmarkFairness(b *testing.B)            { benchFigure(b, "fairness", 0.1
 func BenchmarkFractionalImpact(b *testing.B)    { benchFigure(b, "fractional", 0.2) }
 
 // BenchmarkInfer measures the deterministic topology inference on exact
-// measurements as the cell size grows.
+// measurements as the cell size grows, across parallelism settings.
+// P=1 is the sequential baseline, P=0 uses every core; the determinism
+// tests guarantee all settings return the identical topology, so the
+// ratio between the P lines is pure wall-clock speedup.
 func BenchmarkInfer(b *testing.B) {
 	for _, n := range []int{8, 16, 24} {
-		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			truth := randomTopo(n, n+n/2, 7)
-			meas := truth.Measure()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(i)}); err != nil {
-					b.Fatal(err)
-				}
+		truth := randomTopo(n, n+n/2, 7)
+		meas := truth.Measure()
+		for _, par := range []int{1, 4, 0} {
+			label := fmt.Sprintf("N=%d/P=%d", n, par)
+			if par == 0 {
+				label = fmt.Sprintf("N=%d/P=max", n)
 			}
-		})
+			b.Run(label, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(i), Parallelism: par}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
 // BenchmarkInferMCMC is the Bayesian baseline for the same instance
-// sizes (the Section 3.4 ablation).
+// sizes (the Section 3.4 ablation), including the 4-chain configuration
+// sequential vs parallel.
 func BenchmarkInferMCMC(b *testing.B) {
 	for _, n := range []int{8, 16} {
+		truth := randomTopo(n, n+n/2, 7)
+		meas := truth.Measure()
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			truth := randomTopo(n, n+n/2, 7)
-			meas := truth.Measure()
 			b.ReportAllocs()
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := mcmc.Infer(meas, mcmc.Options{Seed: uint64(i)}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("N=%d/Chains=4/P=%d", n, par), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := mcmc.Infer(meas, mcmc.Options{Seed: uint64(i), Chains: 4, Parallelism: par}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,33 @@
+#!/bin/sh
+# ci.sh — the repo's full verification gate.
+#
+#   vet + build + tests, then the whole suite again under the race
+#   detector. The concurrency layer (internal/parallel, parallel
+#   multi-start inference, MCMC chains, experiment fan-out) is only
+#   trusted when both passes are clean: the plain pass proves the
+#   parallel paths are byte-identical to sequential (determinism
+#   tests), the -race pass proves they are actually safe.
+#
+# The race pass is slow on the full experiment sweeps; use
+#   ./ci.sh -short
+# to run both passes with -short (skips the long sweeps but keeps
+# every determinism, pool, and fuzz-seed test).
+set -eu
+
+cd "$(dirname "$0")"
+
+short="${1:-}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test $short ./...
+
+echo "== go test -race =="
+go test -race $short ./...
+
+echo "ci: all clean"

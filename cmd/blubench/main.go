@@ -1,0 +1,191 @@
+// Command blubench records the repo's performance baseline: it runs
+// the core inference micro-benchmarks (deterministic multi-start
+// inference and the MCMC baseline) across parallelism settings via
+// testing.Benchmark and writes the ns/op table, together with the
+// parallel-vs-sequential speedups, to a JSON file.
+//
+// Usage:
+//
+//	blubench [-o BENCH_baseline.json]
+//
+// The determinism test suite guarantees every parallelism setting
+// returns the identical topology, so each speedup line is a pure
+// wall-clock comparison of the same computation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"blu/internal/blueprint"
+	"blu/internal/mcmc"
+	"blu/internal/rng"
+)
+
+// Entry is one recorded benchmark line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the file layout of BENCH_baseline.json.
+type Baseline struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Note flags environments in which the speedup column cannot mean
+	// anything (a single-CPU machine timeslices the workers instead of
+	// running them concurrently).
+	Note    string  `json:"note,omitempty"`
+	Entries []Entry `json:"entries"`
+	// Speedups maps "<bench>/P=<p>_vs_P=1" to sequential-ns/parallel-ns.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "blubench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blubench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_baseline.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := &Baseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedups:   map[string]float64{},
+	}
+	if base.GOMAXPROCS == 1 {
+		base.Note = "single-CPU machine: P>1 timeslices on one core, so the " +
+			"speedup column measures overhead, not scaling; re-run on a " +
+			"multi-core host for wall-clock numbers"
+		fmt.Fprintln(os.Stderr, "blubench: GOMAXPROCS=1 —", base.Note)
+	}
+
+	record := func(name string, fn func(i int) error) Entry {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		e := Entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		base.Entries = append(base.Entries, e)
+		fmt.Printf("%-28s %12d ns/op  %9.2f ms/op  (%d iters)\n",
+			name, e.NsPerOp, e.MsPerOp, e.Iterations)
+		return e
+	}
+
+	// Deterministic multi-start inference across parallelism settings.
+	// P=1 is the sequential baseline; P=0 uses every core.
+	for _, n := range []int{8, 16, 24} {
+		truth := randomTopo(n, n+n/2, 7)
+		meas := truth.Measure()
+		perSetting := map[int]int64{}
+		for _, par := range []int{1, 2, 4, 0} {
+			par := par
+			e := record(inferLabel(n, par), func(i int) error {
+				_, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(i), Parallelism: par})
+				return err
+			})
+			perSetting[par] = e.NsPerOp
+		}
+		for _, par := range []int{2, 4, 0} {
+			if perSetting[par] > 0 {
+				base.Speedups[inferLabel(n, par)+"_vs_P=1"] =
+					float64(perSetting[1]) / float64(perSetting[par])
+			}
+		}
+	}
+
+	// MCMC baseline: 4 chains sequential vs parallel.
+	{
+		truth := randomTopo(12, 18, 7)
+		meas := truth.Measure()
+		perSetting := map[int]int64{}
+		for _, par := range []int{1, 4} {
+			par := par
+			e := record(fmt.Sprintf("MCMC/N=12/Chains=4/P=%d", par), func(i int) error {
+				_, err := mcmc.Infer(meas, mcmc.Options{Seed: uint64(i), Chains: 4, Parallelism: par})
+				return err
+			})
+			perSetting[par] = e.NsPerOp
+		}
+		if perSetting[4] > 0 {
+			base.Speedups["MCMC/N=12/Chains=4/P=4_vs_P=1"] =
+				float64(perSetting[1]) / float64(perSetting[4])
+		}
+	}
+
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nspeedups:\n")
+	keys := make([]string, 0, len(base.Speedups))
+	for k := range base.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-32s %.2fx\n", k, base.Speedups[k])
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func inferLabel(n, par int) string {
+	if par == 0 {
+		return fmt.Sprintf("Infer/N=%d/P=max", n)
+	}
+	return fmt.Sprintf("Infer/N=%d/P=%d", n, par)
+}
+
+// randomTopo mirrors the bench_test.go generator so blubench measures
+// the same instances the `go test -bench` suite does.
+func randomTopo(n, h int, seed uint64) *blueprint.Topology {
+	r := rng.New(seed)
+	topo := &blueprint.Topology{N: n}
+	for k := 0; k < h; k++ {
+		var set blueprint.ClientSet
+		for i := 0; i < n; i++ {
+			if r.Bool(0.25) {
+				set = set.Add(i)
+			}
+		}
+		if set.Empty() {
+			set = set.Add(r.Intn(n))
+		}
+		topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{
+			Q:       0.1 + 0.4*r.Float64(),
+			Clients: set,
+		})
+	}
+	return topo.Normalize()
+}

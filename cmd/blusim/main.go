@@ -8,8 +8,10 @@
 //
 // Flags:
 //
-//	-scale f   workload scale in (0,1], 1 = paper scale (default 1)
-//	-seed n    random seed (default 1)
+//	-scale f     workload scale in (0,1], 1 = paper scale (default 1)
+//	-seed n      random seed (default 1)
+//	-parallel n  worker goroutines per experiment (0 = all cores,
+//	             1 = sequential); tables are identical at any setting
 //
 // Each experiment prints a table whose rows mirror the series the
 // corresponding paper figure plots; EXPERIMENTS.md records the
@@ -36,6 +38,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("blusim", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1, "workload scale in (0,1]; 1 is paper scale")
 	seed := fs.Uint64("seed", 1, "random seed")
+	par := fs.Int("parallel", 0, "worker goroutines per experiment (0 = all cores, 1 = sequential)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: blusim [flags] <experiment|all|list>")
 		fs.PrintDefaults()
@@ -48,7 +51,7 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("no experiment given")
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *par}
 	reg := experiments.Registry()
 
 	switch cmd := fs.Arg(0); cmd {

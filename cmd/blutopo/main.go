@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	blutopo [-seed n] [-tol f] [-mcmc] trace.json
+//	blutopo [-seed n] [-tol f] [-parallel n] [-mcmc] [-chains n] trace.json
 //
 // The tool replays the trace, estimates the pair-wise client access
 // distributions from the access outcomes, runs BLU's deterministic
@@ -35,7 +35,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("blutopo", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "random seed")
 	tol := fs.Float64("tol", 0.03, "constraint tolerance (−log domain)")
+	par := fs.Int("parallel", 0, "worker goroutines for multi-start inference and MCMC chains (0 = all cores, 1 = sequential)")
 	runMCMC := fs.Bool("mcmc", false, "also run the MCMC baseline")
+	chains := fs.Int("chains", 1, "independent MCMC chains")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,7 +58,7 @@ func run(args []string) error {
 	fmt.Printf("ground truth:     %v\n", truth)
 
 	start := time.Now()
-	inf, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: *seed, Tolerance: *tol})
+	inf, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: *seed, Tolerance: *tol, Parallelism: *par})
 	if err != nil {
 		return err
 	}
@@ -67,14 +69,14 @@ func run(args []string) error {
 
 	if *runMCMC {
 		start = time.Now()
-		mc, err := mcmc.Infer(meas, mcmc.Options{Seed: *seed})
+		mc, err := mcmc.Infer(meas, mcmc.Options{Seed: *seed, Chains: *chains, Parallelism: *par})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("blueprint (MCMC): %v\n", mc.Topology)
-		fmt.Printf("  accuracy=%.3f violation=%.4f accepted=%d/%d time=%.1fms\n",
+		fmt.Printf("  accuracy=%.3f violation=%.4f accepted=%d/%d chains=%d best=%d time=%.1fms\n",
 			blueprint.Accuracy(truth, mc.Topology), mc.Violation, mc.Accepted,
-			mc.Iterations, float64(time.Since(start).Microseconds())/1000)
+			mc.Iterations, mc.Chains, mc.BestChain, float64(time.Since(start).Microseconds())/1000)
 	}
 	return nil
 }

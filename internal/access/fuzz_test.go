@@ -1,0 +1,97 @@
+package access
+
+import (
+	"math"
+	"testing"
+
+	"blu/internal/blueprint"
+	"blu/internal/rng"
+)
+
+// FuzzEstimatorMeasurements feeds the estimator arbitrary observation
+// streams and checks the invariants blueprint inference relies on:
+// every estimate is a probability, every pair-wise estimate is
+// consistent (0 < p(i,j) ≤ min(p(i), p(j))), and the produced
+// measurements validate. The stream itself is adversarial — random
+// schedule sizes, clients that are never scheduled, accessed sets that
+// are not subsets of the scheduled set — because Record must tolerate
+// all of it.
+func FuzzEstimatorMeasurements(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint16(50))
+	f.Add(uint64(99), uint8(2), uint16(0))
+	f.Add(uint64(7), uint8(12), uint16(300))
+	f.Add(uint64(0), uint8(1), uint16(9))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, stepsRaw uint16) {
+		n := 2 + int(nRaw%10)
+		steps := int(stepsRaw % 400)
+		r := rng.New(seed)
+		e := NewEstimator(n)
+
+		for s := 0; s < steps; s++ {
+			var scheduled []int
+			for i := 0; i < n; i++ {
+				if r.Bool(0.4) {
+					scheduled = append(scheduled, i)
+				}
+			}
+			// Accessed is an arbitrary mask — not necessarily a subset of
+			// the scheduled clients; Record must only count scheduled ones.
+			var accessed blueprint.ClientSet
+			for i := 0; i < n; i++ {
+				if r.Bool(0.5) {
+					accessed = accessed.Add(i)
+				}
+			}
+			e.Record(scheduled, accessed)
+		}
+
+		m := e.Measurements()
+		if m.N != n {
+			t.Fatalf("Measurements().N = %d, want %d", m.N, n)
+		}
+		for i := 0; i < n; i++ {
+			if m.P[i] < 0 || m.P[i] > 1 || math.IsNaN(m.P[i]) {
+				t.Fatalf("p(%d) = %v out of [0,1]", i, m.P[i])
+			}
+			for j := i + 1; j < n; j++ {
+				pij := m.Pair(i, j)
+				if pij < 0 || pij > 1 || math.IsNaN(pij) {
+					t.Fatalf("p(%d,%d) = %v out of [0,1]", i, j, pij)
+				}
+				if lim := math.Min(m.P[i], m.P[j]); pij > lim+1e-9 {
+					t.Fatalf("p(%d,%d) = %v exceeds min(p_i,p_j) = %v", i, j, pij, lim)
+				}
+			}
+		}
+		if err := m.Validate(1e-6); err != nil {
+			t.Fatalf("estimated measurements invalid: %v", err)
+		}
+
+		// Sample accounting: pair samples never exceed either endpoint's
+		// schedule count.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sij := e.Samples(i, j)
+				if sij < 0 || sij > e.Samples(i, i) || sij > e.Samples(j, j) {
+					t.Fatalf("Samples(%d,%d) = %d inconsistent with diagonals %d, %d",
+						i, j, sij, e.Samples(i, i), e.Samples(j, j))
+				}
+				if sij != e.Samples(j, i) {
+					t.Fatalf("Samples not symmetric at (%d,%d)", i, j)
+				}
+			}
+		}
+
+		// Reset returns the estimator to the no-evidence state: p(i) = 1.
+		e.Reset()
+		m = e.Measurements()
+		for i := 0; i < n; i++ {
+			if m.P[i] != 1 {
+				t.Fatalf("after Reset, p(%d) = %v, want 1", i, m.P[i])
+			}
+			if e.Samples(i, i) != 0 {
+				t.Fatalf("after Reset, Samples(%d,%d) = %d", i, i, e.Samples(i, i))
+			}
+		}
+	})
+}

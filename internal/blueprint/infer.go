@@ -1,9 +1,11 @@
 package blueprint
 
 import (
+	"context"
 	"errors"
 	"math"
 
+	"blu/internal/parallel"
 	"blu/internal/rng"
 )
 
@@ -35,6 +37,13 @@ type InferOptions struct {
 	// and repaired again, escaping local optima the greedy repair
 	// cannot leave on its own.
 	Perturbations int
+	// Parallelism bounds the worker goroutines running the independent
+	// starts (0 = GOMAXPROCS, 1 = fully sequential). Each start draws
+	// from its own rng stream derived from (Seed, start index) and the
+	// reduction over start results is deterministic, so the inferred
+	// topology is byte-identical at every setting — the knob only trades
+	// wall-clock for cores.
+	Parallelism int
 }
 
 func (o InferOptions) withDefaults(n int) InferOptions {
@@ -45,9 +54,10 @@ func (o InferOptions) withDefaults(n int) InferOptions {
 	if o.Tolerance <= 0 {
 		o.Tolerance = 0.02
 	}
-	if o.RandomStarts < 0 {
-		o.RandomStarts = 0
-	} else if o.RandomStarts == 0 {
+	if o.RandomStarts <= 0 {
+		// Both the zero value and (documented-default) negatives select
+		// the default; a caller cannot turn random starts off entirely,
+		// matching the paper's multi-start requirement.
 		o.RandomStarts = 8
 	}
 	if o.MaxHTs <= 0 {
@@ -98,6 +108,13 @@ var ErrNoClients = errors.New("blueprint: measurements cover no clients")
 // topologies — with iterated-local-search perturbations around each,
 // and returns the result with the smallest violation, breaking ties
 // toward fewer hidden terminals.
+//
+// The starts are independent and run on up to opts.Parallelism workers.
+// Every start's randomness is a stream derived from (Seed, start index)
+// and the per-start results are reduced in start order with a total
+// tie-break (violation band, hidden-terminal count, exact violation,
+// then lowest start index), so the result is byte-identical for every
+// Parallelism setting, including fully sequential.
 func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
 	if m == nil || m.N == 0 {
 		return nil, ErrNoClients
@@ -107,53 +124,113 @@ func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
 	}
 	opts = opts.withDefaults(m.N)
 	target := m.Transform()
+	root := rng.New(opts.Seed)
+	structured := structuredStarts(target, opts)
 
-	res := &InferResult{}
+	// The empty start doubles as a cheap triviality probe: when greedy
+	// repair from nothing already satisfies every constraint with zero
+	// hidden terminals, there is no interference to blueprint and no
+	// reason to fan out the remaining starts.
+	probe := newSolver(target, structured[0], opts)
+	probeIters := probe.run(opts)
+	if probe.bestTotal <= opts.Tolerance && len(probe.bestHTs) == 0 {
+		return finishInfer(target, probe, opts, 1, probeIters), nil
+	}
+
+	// Fan out: every start — structured or random — together with its
+	// iterated-local-search chain is one independent task whose rng
+	// streams depend only on (Seed, task index), so each task computes
+	// the same chain on any worker in any order. Results land in slots
+	// indexed by task.
+	nTasks := len(structured) + opts.RandomStarts
+	chains := make([]chainResult, nTasks)
+	err := parallel.ForEach(context.Background(), opts.Parallelism, nTasks, func(idx int) error {
+		pr := root.SplitIndex("perturb", idx)
+		if idx < len(structured) {
+			var initial *solverState
+			if idx == 0 {
+				initial = probe // already repaired; reuse, don't recompute
+			}
+			chains[idx] = runChain(target, opts, initial, structured[idx], opts.Perturbations, pr)
+			return nil
+		}
+		start := randomStart(target, opts, root.SplitIndex("start", idx-len(structured)))
+		// Random starts get a single perturbation round, matching the
+		// original escape heuristic for unconverged random repairs.
+		chains[idx] = runChain(target, opts, nil, start, 1, pr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic reduction in task order: betterSolution is a strict
+	// comparison on (violation band, terminal count, violation), and
+	// replacing only on strictly-better keeps the lowest-index winner on
+	// ties — the same winner a sequential scan would pick.
 	var best *solverState
+	starts, iters := 0, probeIters
+	for i := range chains {
+		cr := &chains[i]
+		starts += cr.starts
+		iters += cr.iters
+		if cr.best != nil && (best == nil || betterSolution(cr.best, best, opts.Tolerance)) {
+			best = cr.best
+		}
+	}
+	return finishInfer(target, best, opts, starts, iters), nil
+}
+
+// chainResult is one start task's locally reduced outcome.
+type chainResult struct {
+	best   *solverState
+	starts int
+	iters  int
+}
+
+// runChain runs one start plus its iterated-local-search chain: repair
+// the initial topology, then up to maxPerturb rounds of perturb-and-
+// repair around the best state seen, keeping the chain-best solution.
+// initial, when non-nil, is an already-repaired solver reused as the
+// chain head (its iterations are accounted by the caller).
+func runChain(target *Transformed, opts InferOptions, initial *solverState, start startTopo, maxPerturb int, pr *rng.Source) chainResult {
+	var cr chainResult
 	consider := func(s *solverState) {
-		res.Starts++
-		if best == nil || betterSolution(s, best, opts.Tolerance) {
-			best = s
+		cr.starts++
+		if cr.best == nil || betterSolution(s, cr.best, opts.Tolerance) {
+			cr.best = s
 		}
 	}
+	s := initial
+	if s == nil {
+		s = newSolver(target, start, opts)
+		cr.iters += s.run(opts)
+	}
+	consider(s)
+	cur := s
+	for p := 0; p < maxPerturb; p++ {
+		if cur.bestTotal <= opts.Tolerance {
+			break
+		}
+		ns := newSolver(target, perturbStart(cur.bestHTs, pr), opts)
+		cr.iters += ns.run(opts)
+		consider(ns)
+		if ns.bestTotal < cur.bestTotal {
+			cur = ns
+		}
+	}
+	return cr
+}
 
-	r := rng.New(opts.Seed)
-	runStart := func(start startTopo) *solverState {
-		s := newSolver(target, start, opts)
-		res.Iterations += s.run(opts)
-		consider(s)
-		return s
-	}
-	pr := r.Split("perturb")
-	for _, start := range structuredStarts(target, opts) {
-		s := runStart(start)
-		if s.bestTotal <= opts.Tolerance && len(s.bestHTs) == 0 {
-			break // nothing to infer: no interference at all
-		}
-		// Iterated local search around this start's best state.
-		cur := s
-		for p := 0; p < opts.Perturbations; p++ {
-			if cur.bestTotal <= opts.Tolerance {
-				break
-			}
-			ns := runStart(perturbStart(cur.bestHTs, pr))
-			if ns.bestTotal < cur.bestTotal {
-				cur = ns
-			}
-		}
-	}
-	for i := 0; i < opts.RandomStarts; i++ {
-		s := runStart(randomStart(target, opts, r.Split("start").Split(string(rune('a'+i)))))
-		if s.bestTotal > opts.Tolerance {
-			runStart(perturbStart(s.bestHTs, pr))
-		}
-	}
-
+// finishInfer converts the winning solver state into the reported
+// result: normalize, prune noise-fitting terminals, score residuals.
+func finishInfer(target *Transformed, best *solverState, opts InferOptions, starts, iters int) *InferResult {
+	res := &InferResult{Starts: starts, Iterations: iters}
 	topo := pruneInsignificant(target, best.topology().Normalize(), opts.Tolerance)
 	res.Topology = topo
 	res.Violation, res.MaxViolation = Residual(target, topo)
 	res.Converged = res.MaxViolation <= opts.Tolerance
-	return res, nil
+	return res
 }
 
 // pruneInsignificant enforces the minimal-h objective on the final

@@ -1,0 +1,95 @@
+package blueprint
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzClientSetAlgebra checks the ClientSet set-algebra laws on
+// arbitrary bitmask pairs. The reference semantics are those of a set
+// of integers in [0, 64); every law below is a textbook identity, so a
+// failure is a bitmask bug, not a modeling choice.
+func FuzzClientSetAlgebra(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(0b1011), uint64(0b0110), uint8(1))
+	f.Add(^uint64(0), uint64(1), uint8(63))
+	f.Add(uint64(1)<<63, uint64(1)<<63, uint8(63))
+	f.Fuzz(func(t *testing.T, ra, rb uint64, ri uint8) {
+		a, b := ClientSet(ra), ClientSet(rb)
+		i := int(ri % MaxClients)
+
+		u := a.Union(b)
+		x := a.Intersect(b)
+		d := a.Minus(b)
+
+		// Union covers both operands; intersection is inside both.
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("union %v does not contain operands %v, %v", u, a, b)
+		}
+		if !a.Contains(x) || !b.Contains(x) {
+			t.Fatalf("intersection %v escapes operands %v, %v", x, a, b)
+		}
+		// Difference is disjoint from the subtrahend and partitions a.
+		if !d.Intersect(b).Empty() {
+			t.Fatalf("minus %v still meets %v", d, b)
+		}
+		if d.Union(x) != a {
+			t.Fatalf("(a\\b) ∪ (a∩b) = %v, want %v", d.Union(x), a)
+		}
+		// Inclusion–exclusion on cardinalities.
+		if u.Count()+x.Count() != a.Count()+b.Count() {
+			t.Fatalf("|a∪b|+|a∩b| = %d, want |a|+|b| = %d",
+				u.Count()+x.Count(), a.Count()+b.Count())
+		}
+		// Commutativity and idempotence.
+		if a.Union(b) != b.Union(a) || a.Intersect(b) != b.Intersect(a) {
+			t.Fatal("union/intersect not commutative")
+		}
+		if a.Union(a) != a || a.Intersect(a) != a || !a.Minus(a).Empty() {
+			t.Fatal("idempotence laws violated")
+		}
+
+		// Add/Remove/Has agree.
+		if got := a.Add(i); !got.Has(i) || !got.Contains(a) {
+			t.Fatalf("Add(%d) broken on %v", i, a)
+		}
+		if got := a.Remove(i); got.Has(i) || !a.Contains(got) {
+			t.Fatalf("Remove(%d) broken on %v", i, a)
+		}
+		if a.Has(i) != a.Contains(NewClientSet(i)) {
+			t.Fatalf("Has(%d) disagrees with Contains on %v", i, a)
+		}
+
+		// Members is sorted, duplicate-free, round-trips, and matches
+		// Count and the ForEach visit order.
+		members := a.Members()
+		if len(members) != a.Count() {
+			t.Fatalf("len(Members) = %d, Count = %d", len(members), a.Count())
+		}
+		if !sort.IntsAreSorted(members) {
+			t.Fatalf("Members not ascending: %v", members)
+		}
+		if NewClientSet(members...) != a {
+			t.Fatalf("NewClientSet(Members(%v)) round-trip failed", a)
+		}
+		var visited []int
+		a.ForEach(func(m int) { visited = append(visited, m) })
+		if len(visited) != len(members) {
+			t.Fatalf("ForEach visited %d, Members has %d", len(visited), len(members))
+		}
+		for k := range visited {
+			if visited[k] != members[k] {
+				t.Fatalf("ForEach order %v != Members %v", visited, members)
+			}
+		}
+		// Every member is in range and Has-visible.
+		for _, m := range members {
+			if m < 0 || m >= MaxClients || !a.Has(m) {
+				t.Fatalf("member %d invalid for %v", m, a)
+			}
+		}
+		if a.Empty() != (a.Count() == 0) {
+			t.Fatalf("Empty() disagrees with Count() on %v", a)
+		}
+	})
+}

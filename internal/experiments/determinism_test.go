@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExperimentTablesDeterministicAcrossParallelism runs full figures
+// at a small scale under Parallelism 1 and 8 and requires the rendered
+// tables to be deep-equal. This is the end-to-end face of the fan-out
+// contract: every trial owns its result slot and its (Seed, trial)
+// rng stream, so worker count and scheduling order must be invisible
+// in the output.
+func TestExperimentTablesDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure determinism sweep")
+	}
+	// skewed exercises blueprint inference (the tentpole's parallel
+	// multi-start) inside a fanned-out figure; fig4a exercises the
+	// scheduler/simulator path.
+	for _, id := range []string{"skewed", "fig4a"} {
+		runner := Registry()[id]
+		if runner == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+		seq, err := runner(Options{Seed: 3, Scale: 0.05, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := runner(Options{Seed: 3, Scale: 0.05, Parallelism: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: table diverges across parallelism\nsequential:\n%s\nparallel:\n%s",
+				id, seq, par)
+		}
+	}
+}

@@ -90,34 +90,45 @@ func Fig16(opts Options) (*Table, error) {
 			"shape: inferred ~= perfect; gain grows with UE count toward ~1.8x",
 		},
 	}
-	for _, nUE := range []int{8, 16, 24} {
+	ues := []int{8, 16, 24}
+	type row struct{ pf, inf, perf *sim.Metrics }
+	rows := make([]row, len(ues))
+	err := opts.forEachTrial(len(ues), func(i int) error {
+		nUE := ues[i]
 		cell, err := emulatedCell(nUE, 1, sfs, opts.Seed+uint64(nUE))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env := cell.Env()
 		pfSched, err := sched.NewPF(env)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf := sim.Run(cell, pfSched, 0, sfs, nil)
 
 		calc, _, err := inferredDistribution(cell, opts.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bluInf, err := sched.NewSpeculative(env, calc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mInf := sim.Run(cell, bluInf, 0, sfs, nil)
 
 		bluPerf, err := sched.NewSpeculative(env, cell.PerfectDistribution())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mPerf := sim.Run(cell, bluPerf, 0, sfs, nil)
-
+		rows[i] = row{pf: pf, inf: mInf, perf: mPerf}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, nUE := range ues {
+		pf, mInf, mPerf := rows[i].pf, rows[i].inf, rows[i].perf
 		t.AddRow(nUE, pf.ThroughputMbps, mInf.ThroughputMbps, mPerf.ThroughputMbps,
 			mInf.GainOver(pf), mPerf.GainOver(pf))
 	}
@@ -138,19 +149,31 @@ func Fig17(opts Options) (*Table, error) {
 			"shape: BLU's gain grows with M (more DoF at risk), AA stays ~1x",
 		},
 	}
-	for _, m := range []int{1, 2, 4} {
+	ms := []int{1, 2, 4}
+	type row struct{ pf, aa, blu *sim.Metrics }
+	rows := make([]row, len(ms))
+	err := opts.forEachTrial(len(ms), func(i int) error {
+		m := ms[i]
 		cell, err := emulatedCell(24, m, sfs, opts.Seed+uint64(m)*7)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		calc, _, err := inferredDistribution(cell, opts.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, aa, blu, err := runThree(cell, calc, sfs)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = row{pf: pf, aa: aa, blu: blu}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		pf, aa, blu := rows[i].pf, rows[i].aa, rows[i].blu
 		t.AddRow(m, pf.ThroughputMbps, aa.GainOver(pf), blu.GainOver(pf))
 	}
 	return t, nil
@@ -171,19 +194,31 @@ func Fig18(opts Options) (*Table, error) {
 			"shape: PF leaves ~half the RBs idle; BLU ~2x PF; AA does not improve utilization",
 		},
 	}
-	for _, m := range []int{1, 2, 4} {
+	ms := []int{1, 2, 4}
+	type row struct{ pf, aa, blu *sim.Metrics }
+	rows := make([]row, len(ms))
+	err := opts.forEachTrial(len(ms), func(i int) error {
+		m := ms[i]
 		cell, err := emulatedCell(24, m, sfs, opts.Seed+uint64(m)*11)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		calc, _, err := inferredDistribution(cell, opts.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, aa, blu, err := runThree(cell, calc, sfs)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = row{pf: pf, aa: aa, blu: blu}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		pf, aa, blu := rows[i].pf, rows[i].aa, rows[i].blu
 		gain := 0.0
 		if pf.RBUtilization > 0 {
 			gain = blu.RBUtilization / pf.RBUtilization

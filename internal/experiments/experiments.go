@@ -9,9 +9,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+
+	"blu/internal/parallel"
 )
 
 // Options tunes an experiment run.
@@ -22,6 +25,12 @@ type Options struct {
 	// proportionally; 1 is the paper-scale run. Benchmarks use small
 	// scales.
 	Scale float64
+	// Parallelism bounds the worker goroutines running a figure's
+	// independent trials (0 = GOMAXPROCS, 1 = sequential). Every trial
+	// owns a result slot indexed by its trial position and an rng stream
+	// derived from (Seed, trial index), so the produced tables are
+	// identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -32,6 +41,15 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// forEachTrial fans a figure's n independent trials out over the
+// configured parallelism. fn(i) must write only result slots owned by
+// trial i and draw randomness only from streams derived from
+// (Seed, i), which keeps every table byte-identical to the sequential
+// run.
+func (o Options) forEachTrial(n int, fn func(i int) error) error {
+	return parallel.ForEach(context.Background(), o.Parallelism, n, fn)
 }
 
 // scaled returns n scaled down, with a floor.

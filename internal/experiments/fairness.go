@@ -31,32 +31,50 @@ func Fairness(opts Options) (*Table, error) {
 	const nUE = 8
 	sfs := opts.scaled(8000, 1600)
 	placements := opts.scaled(4, 2)
-	for _, hPerUE := range []int{1, 2, 3} {
-		var pfJ, bluJ, pfW, bluW []float64
-		for p := 0; p < placements; p++ {
-			seed := opts.Seed + uint64(hPerUE)*211 + uint64(p)*17
-			cell, err := testbedCell(nUE, hPerUE*nUE, 1, sfs, seed)
-			if err != nil {
-				return nil, err
-			}
-			pf, err := sched.NewPF(cell.Env())
-			if err != nil {
-				return nil, err
-			}
-			pfm := sim.Run(cell, pf, 0, sfs, nil)
+	densities := []int{1, 2, 3}
+	// One task per (density, placement) trial, slots row-major by
+	// density.
+	type trial struct{ pfJ, bluJ, pfW, bluW float64 }
+	trials := make([]trial, len(densities)*placements)
+	err := opts.forEachTrial(len(trials), func(i int) error {
+		hPerUE, p := densities[i/placements], i%placements
+		seed := opts.Seed + uint64(hPerUE)*211 + uint64(p)*17
+		cell, err := testbedCell(nUE, hPerUE*nUE, 1, sfs, seed)
+		if err != nil {
+			return err
+		}
+		pf, err := sched.NewPF(cell.Env())
+		if err != nil {
+			return err
+		}
+		pfm := sim.Run(cell, pf, 0, sfs, nil)
 
-			sys, err := core.NewSystem(core.Config{T: 40, L: sfs}, cell)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run()
-			if err != nil {
-				return nil, err
-			}
-			pfJ = append(pfJ, pfm.JainFairness)
-			bluJ = append(bluJ, rep.Speculative.JainFairness)
-			pfW = append(pfW, logUtility(pfm.BitsPerUE, sfs))
-			bluW = append(bluW, logUtility(rep.Speculative.BitsPerUE, rep.SpeculativeSubframes))
+		sys, err := core.NewSystem(core.Config{T: 40, L: sfs}, cell)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			return err
+		}
+		trials[i] = trial{
+			pfJ:  pfm.JainFairness,
+			bluJ: rep.Speculative.JainFairness,
+			pfW:  logUtility(pfm.BitsPerUE, sfs),
+			bluW: logUtility(rep.Speculative.BitsPerUE, rep.SpeculativeSubframes),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for d, hPerUE := range densities {
+		var pfJ, bluJ, pfW, bluW []float64
+		for _, tr := range trials[d*placements : (d+1)*placements] {
+			pfJ = append(pfJ, tr.pfJ)
+			bluJ = append(bluJ, tr.bluJ)
+			pfW = append(pfW, tr.pfW)
+			bluW = append(bluW, tr.bluW)
 		}
 		t.AddRow(hPerUE, stats.Mean(pfJ), stats.Mean(bluJ), stats.Mean(pfW), stats.Mean(bluW))
 	}

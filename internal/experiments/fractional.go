@@ -33,78 +33,89 @@ func Fractional(opts Options) (*Table, error) {
 		samples = 30000
 	)
 	r := rng.New(opts.Seed)
-	for _, spread := range []float64{0, 0.2, 0.4} {
-		var accs, perrs []float64
-		for c := 0; c < cases; c++ {
-			rr := r.Split("case")
-			truth := randomTruth(rr.Split("topo"), n, h)
-			// Per-edge blocking weights in [1−spread, 1].
-			weights := make(map[[2]int]float64)
+	spreads := []float64{0, 0.2, 0.4}
+	// One task per (spread, case); each case owns a (Seed, trial) rng
+	// stream so trials are independent draws.
+	accsAll := make([]float64, len(spreads)*cases)
+	perrsAll := make([]float64, len(spreads)*cases)
+	err := opts.forEachTrial(len(accsAll), func(idx int) error {
+		spread, c := spreads[idx/cases], idx%cases
+		rr := r.SplitIndex("case", idx)
+		truth := randomTruth(rr.Split("topo"), n, h)
+		// Per-edge blocking weights in [1−spread, 1].
+		weights := make(map[[2]int]float64)
+		for k, ht := range truth.HTs {
+			ht.Clients.ForEach(func(i int) {
+				weights[[2]int{k, i}] = 1 - spread*rr.Float64()
+			})
+		}
+		// Sample access outcomes under the fractional model and the
+		// true per-client access rates alongside.
+		countI := make([]int, n)
+		countIJ := make([][]int, n)
+		for i := range countIJ {
+			countIJ[i] = make([]int, n)
+		}
+		sampler := rr.Split("samples")
+		for s := 0; s < samples; s++ {
+			var blocked blueprint.ClientSet
 			for k, ht := range truth.HTs {
+				if !sampler.Bool(ht.Q) {
+					continue
+				}
 				ht.Clients.ForEach(func(i int) {
-					weights[[2]int{k, i}] = 1 - spread*rr.Float64()
+					if sampler.Bool(weights[[2]int{k, i}]) {
+						blocked = blocked.Add(i)
+					}
 				})
 			}
-			// Sample access outcomes under the fractional model and the
-			// true per-client access rates alongside.
-			countI := make([]int, n)
-			countIJ := make([][]int, n)
-			for i := range countIJ {
-				countIJ[i] = make([]int, n)
-			}
-			sampler := rr.Split("samples")
-			for s := 0; s < samples; s++ {
-				var blocked blueprint.ClientSet
-				for k, ht := range truth.HTs {
-					if !sampler.Bool(ht.Q) {
-						continue
-					}
-					ht.Clients.ForEach(func(i int) {
-						if sampler.Bool(weights[[2]int{k, i}]) {
-							blocked = blocked.Add(i)
-						}
-					})
-				}
-				for i := 0; i < n; i++ {
-					if blocked.Has(i) {
-						continue
-					}
-					countI[i]++
-					for j := i + 1; j < n; j++ {
-						if !blocked.Has(j) {
-							countIJ[i][j]++
-						}
-					}
-				}
-			}
-			m := blueprint.NewMeasurements(n)
 			for i := 0; i < n; i++ {
-				m.P[i] = float64(countI[i]) / samples
+				if blocked.Has(i) {
+					continue
+				}
+				countI[i]++
 				for j := i + 1; j < n; j++ {
-					m.SetPair(i, j, float64(countIJ[i][j])/samples)
+					if !blocked.Has(j) {
+						countIJ[i][j]++
+					}
 				}
 			}
-			m.Clamp(1e-4)
-
-			inf, err := blueprint.Infer(m, blueprint.InferOptions{Seed: uint64(c), Tolerance: 0.03})
-			if err != nil {
-				return nil, err
-			}
-			accs = append(accs, blueprint.Accuracy(truth, inf.Topology))
-			// What the scheduler actually consumes: the blueprint's
-			// induced access probabilities vs the observed ones.
-			var perr float64
-			for i := 0; i < n; i++ {
-				d := inf.Topology.AccessProb(i) - m.P[i]
-				if d < 0 {
-					d = -d
-				}
-				if d > perr {
-					perr = d
-				}
-			}
-			perrs = append(perrs, perr)
 		}
+		m := blueprint.NewMeasurements(n)
+		for i := 0; i < n; i++ {
+			m.P[i] = float64(countI[i]) / samples
+			for j := i + 1; j < n; j++ {
+				m.SetPair(i, j, float64(countIJ[i][j])/samples)
+			}
+		}
+		m.Clamp(1e-4)
+
+		inf, err := blueprint.Infer(m, blueprint.InferOptions{Seed: uint64(c), Tolerance: 0.03})
+		if err != nil {
+			return err
+		}
+		accsAll[idx] = blueprint.Accuracy(truth, inf.Topology)
+		// What the scheduler actually consumes: the blueprint's
+		// induced access probabilities vs the observed ones.
+		var perr float64
+		for i := 0; i < n; i++ {
+			d := inf.Topology.AccessProb(i) - m.P[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > perr {
+				perr = d
+			}
+		}
+		perrsAll[idx] = perr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spread := range spreads {
+		accs := accsAll[si*cases : (si+1)*cases]
+		perrs := perrsAll[si*cases : (si+1)*cases]
 		t.AddRow(spread, cases, stats.Mean(accs), stats.Mean(perrs))
 	}
 	return t, nil

@@ -25,24 +25,32 @@ func Fig14a(opts Options) (*Table, error) {
 		},
 	}
 	perGroup := opts.scaled(36, 6)
-	for _, nUE := range []int{8, 16, 24} {
-		var accs []float64
-		for i := 0; i < perGroup; i++ {
-			acc, err := inferCombinedTopology(nUE, opts.Seed+uint64(nUE*1000+i*7))
-			if err != nil {
-				return nil, err
-			}
-			accs = append(accs, acc)
+	groups := []int{8, 16, 24}
+	// One task per (UE count, trial); slots row-major by group.
+	accs := make([]float64, len(groups)*perGroup)
+	err := opts.forEachTrial(len(accs), func(idx int) error {
+		nUE, i := groups[idx/perGroup], idx%perGroup
+		acc, err := inferCombinedTopology(nUE, opts.Seed+uint64(nUE*1000+i*7))
+		if err != nil {
+			return err
 		}
-		med, err := stats.Median(accs)
+		accs[idx] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for g, nUE := range groups {
+		ga := accs[g*perGroup : (g+1)*perGroup]
+		med, err := stats.Median(ga)
 		if err != nil {
 			return nil, err
 		}
-		p10, err := stats.Percentile(accs, 10)
+		p10, err := stats.Percentile(ga, 10)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(nUE, perGroup, med, p10, frac(accs, 1.0), frac(accs, 0.9))
+		t.AddRow(nUE, perGroup, med, p10, frac(ga, 1.0), frac(ga, 0.9))
 	}
 	return t, nil
 }
@@ -85,6 +93,7 @@ func Fig14b(opts Options) (*Table, error) {
 		Topologies: opts.scaled(300, 20),
 		Subframes:  opts.scaled(20000, 4000),
 		Seed:       opts.Seed,
+		Workers:    opts.Parallelism,
 	}
 	results, err := netsim.RunBatch(batch)
 	if err != nil {

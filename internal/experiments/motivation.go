@@ -26,17 +26,26 @@ func Fig4a(opts Options) (*Table, error) {
 		},
 	}
 	sfs := opts.scaled(4000, 400)
-	for _, nHT := range []int{0, 2, 4, 6, 8, 12} {
+	hts := []int{0, 2, 4, 6, 8, 12}
+	utils := make([]float64, len(hts))
+	err := opts.forEachTrial(len(hts), func(i int) error {
+		nHT := hts[i]
 		cell, err := testbedCell(8, nHT, 1, sfs, opts.Seed+uint64(nHT))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pf, err := sched.NewPF(cell.Env())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := sim.Run(cell, pf, 0, sfs, nil)
-		t.AddRow(nHT, m.RBUtilization, 100*(1-m.RBUtilization))
+		utils[i] = sim.Run(cell, pf, 0, sfs, nil).RBUtilization
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, nHT := range hts {
+		t.AddRow(nHT, utils[i], 100*(1-utils[i]))
 	}
 	return t, nil
 }
@@ -55,21 +64,28 @@ func Fig4b(opts Options) (*Table, error) {
 		},
 	}
 	sfs := opts.scaled(4000, 400)
-	for _, nHT := range []int{0, 2, 4, 6, 8, 12} {
-		var fracs []float64
-		for _, m := range []int{1, 2} {
-			cell, err := testbedCell(8, nHT, m, sfs, opts.Seed+uint64(nHT))
-			if err != nil {
-				return nil, err
-			}
-			pf, err := sched.NewPF(cell.Env())
-			if err != nil {
-				return nil, err
-			}
-			res := sim.Run(cell, pf, 0, sfs, nil)
-			fracs = append(fracs, res.FullyUtilizedSubframes)
+	hts := []int{0, 2, 4, 6, 8, 12}
+	ms := []int{1, 2}
+	// One task per (hidden-terminal count, MU-MIMO order) cell.
+	fracs := make([]float64, len(hts)*len(ms))
+	err := opts.forEachTrial(len(fracs), func(i int) error {
+		nHT, m := hts[i/len(ms)], ms[i%len(ms)]
+		cell, err := testbedCell(8, nHT, m, sfs, opts.Seed+uint64(nHT))
+		if err != nil {
+			return err
 		}
-		t.AddRow(nHT, fracs[0], fracs[1])
+		pf, err := sched.NewPF(cell.Env())
+		if err != nil {
+			return err
+		}
+		fracs[i] = sim.Run(cell, pf, 0, sfs, nil).FullyUtilizedSubframes
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, nHT := range hts {
+		t.AddRow(nHT, fracs[i*len(ms)], fracs[i*len(ms)+1])
 	}
 	return t, nil
 }
@@ -91,8 +107,9 @@ func Fig4c(opts Options) (*Table, error) {
 	analysis := topology.DefaultSensingAnalysis()
 	runs := opts.scaled(40, 8)
 	r := rng.New(opts.Seed)
-	var wifiAll, lteAll []float64
-	for i := 0; i < runs; i++ {
+	wifiAll := make([]float64, runs)
+	lteAll := make([]float64, runs)
+	err := opts.forEachTrial(runs, func(i int) error {
 		// A building-scale floor so the CS (−85 dBm ≈ 100 m) and ED
 		// (−70 dBm ≈ 32 m) sensing ranges both fall inside it; the
 		// ratio is then governed by the sensing asymmetry, not the
@@ -104,11 +121,13 @@ func Fig4c(opts Options) (*Table, error) {
 			Clustered:   true,
 		}, r.Split(fmt.Sprintf("sc%d", i)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		w, l := analysis.CompareCellTechnologies(sc)
-		wifiAll = append(wifiAll, w)
-		lteAll = append(lteAll, l)
+		wifiAll[i], lteAll[i] = analysis.CompareCellTechnologies(sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	wm, lm := stats.Mean(wifiAll), stats.Mean(lteAll)
 	ratio := 0.0

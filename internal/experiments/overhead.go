@@ -64,27 +64,35 @@ func Ablation(opts Options) (*Table, error) {
 	}
 	cases := opts.scaled(24, 6)
 	r := rng.New(opts.Seed)
-	var detAcc, mcAcc []float64
-	var detMS, mcMS []float64
-	for c := 0; c < cases; c++ {
-		truth := randomTruth(r, 6+r.Intn(5), 2+r.Intn(4))
+	detAcc := make([]float64, cases)
+	mcAcc := make([]float64, cases)
+	detMS := make([]float64, cases)
+	mcMS := make([]float64, cases)
+	err := opts.forEachTrial(cases, func(c int) error {
+		// Each case draws its truth from its own (Seed, case) stream.
+		rc := r.SplitIndex("case", c)
+		truth := randomTruth(rc, 6+rc.Intn(5), 2+rc.Intn(4))
 		meas := truth.Measure()
 
 		start := time.Now()
 		det, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(c)})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		detMS = append(detMS, float64(time.Since(start).Microseconds())/1000)
-		detAcc = append(detAcc, blueprint.Accuracy(truth, det.Topology))
+		detMS[c] = float64(time.Since(start).Microseconds()) / 1000
+		detAcc[c] = blueprint.Accuracy(truth, det.Topology)
 
 		start = time.Now()
 		mc, err := mcmc.Infer(meas, mcmc.Options{Seed: uint64(c), Iterations: 20000})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mcMS = append(mcMS, float64(time.Since(start).Microseconds())/1000)
-		mcAcc = append(mcAcc, blueprint.Accuracy(truth, mc.Topology))
+		mcMS[c] = float64(time.Since(start).Microseconds()) / 1000
+		mcAcc[c] = blueprint.Accuracy(truth, mc.Topology)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	detMed, err := stats.Median(detAcc)
 	if err != nil {

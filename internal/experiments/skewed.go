@@ -25,43 +25,55 @@ func Skewed(opts Options) (*Table, error) {
 	}
 	cases := opts.scaled(20, 6)
 	r := rng.New(opts.Seed)
-	for _, ratio := range []float64{1, 2, 2.5} {
-		var pairAcc, tripleAcc []float64
-		for c := 0; c < cases; c++ {
-			const n = 6
-			h := int(ratio * n)
-			truth := skewedTruth(r.Split("truth"), n, h)
-			meas := truth.Measure()
+	ratios := []float64{1, 2, 2.5}
+	// One task per (ratio, case); each draws its truth from its own
+	// (Seed, trial)-derived stream, so cases are genuinely independent
+	// draws and any worker computes the same trial.
+	pairAcc := make([]float64, len(ratios)*cases)
+	tripleAcc := make([]float64, len(ratios)*cases)
+	err := opts.forEachTrial(len(pairAcc), func(idx int) error {
+		ratio, c := ratios[idx/cases], idx%cases
+		const n = 6
+		h := int(ratio * n)
+		truth := skewedTruth(r.SplitIndex("truth", idx), n, h)
+		meas := truth.Measure()
 
-			inf, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(c)})
-			if err != nil {
-				return nil, err
-			}
-			pairAcc = append(pairAcc, blueprint.Accuracy(truth, inf.Topology))
+		inf, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(c)})
+		if err != nil {
+			return err
+		}
+		pairAcc[idx] = blueprint.Accuracy(truth, inf.Topology)
 
-			// Add every exact triple distribution and re-infer.
-			for i := 0; i < n; i++ {
-				for j := i + 1; j < n; j++ {
-					for k := j + 1; k < n; k++ {
-						meas.SetTriple(i, j, k, truth.ClearProb(blueprint.NewClientSet(i, j, k)))
-					}
+		// Add every exact triple distribution and re-infer.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					meas.SetTriple(i, j, k, truth.ClearProb(blueprint.NewClientSet(i, j, k)))
 				}
 			}
-			inf3, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(c)})
-			if err != nil {
-				return nil, err
-			}
-			tripleAcc = append(tripleAcc, blueprint.Accuracy(truth, inf3.Topology))
 		}
-		pm, err := stats.Median(pairAcc)
+		inf3, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(c)})
+		if err != nil {
+			return err
+		}
+		tripleAcc[idx] = blueprint.Accuracy(truth, inf3.Topology)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, ratio := range ratios {
+		pa := pairAcc[ri*cases : (ri+1)*cases]
+		ta := tripleAcc[ri*cases : (ri+1)*cases]
+		pm, err := stats.Median(pa)
 		if err != nil {
 			return nil, err
 		}
-		tm, err := stats.Median(tripleAcc)
+		tm, err := stats.Median(ta)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(ratio, cases, stats.Mean(pairAcc), stats.Mean(tripleAcc), pm, tm)
+		t.AddRow(ratio, cases, stats.Mean(pa), stats.Mean(ta), pm, tm)
 	}
 	return t, nil
 }

@@ -23,37 +23,47 @@ func testbedGains(opts Options, m int, id, title string, utilization bool) (*Tab
 	const nUE = 4
 	sfs := opts.scaled(6000, 1200)
 	placements := opts.scaled(5, 2)
-	for _, hPerUE := range []int{1, 2, 3} {
-		var pfVals, bluVals []float64
-		for p := 0; p < placements; p++ {
-			seed := opts.Seed + uint64(hPerUE)*1000 + uint64(p)*13
-			cell, err := testbedCell(nUE, hPerUE*nUE, m, sfs, seed)
-			if err != nil {
-				return nil, err
-			}
-			pf, err := sched.NewPF(cell.Env())
-			if err != nil {
-				return nil, err
-			}
-			pfm := sim.Run(cell, pf, 0, sfs, nil)
-
-			sys, err := core.NewSystem(core.Config{T: 40, L: sfs}, cell)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Run()
-			if err != nil {
-				return nil, err
-			}
-			if utilization {
-				pfVals = append(pfVals, pfm.RBUtilization)
-				bluVals = append(bluVals, rep.Speculative.RBUtilization)
-			} else {
-				pfVals = append(pfVals, pfm.ThroughputMbps)
-				bluVals = append(bluVals, rep.Speculative.ThroughputMbps)
-			}
+	densities := []int{1, 2, 3}
+	// One task per (density, placement) trial; slots are row-major by
+	// density so the per-density reductions read contiguous segments.
+	pfVals := make([]float64, len(densities)*placements)
+	bluVals := make([]float64, len(densities)*placements)
+	err := opts.forEachTrial(len(pfVals), func(i int) error {
+		hPerUE, p := densities[i/placements], i%placements
+		seed := opts.Seed + uint64(hPerUE)*1000 + uint64(p)*13
+		cell, err := testbedCell(nUE, hPerUE*nUE, m, sfs, seed)
+		if err != nil {
+			return err
 		}
-		pfMean, bluMean := stats.Mean(pfVals), stats.Mean(bluVals)
+		pf, err := sched.NewPF(cell.Env())
+		if err != nil {
+			return err
+		}
+		pfm := sim.Run(cell, pf, 0, sfs, nil)
+
+		sys, err := core.NewSystem(core.Config{T: 40, L: sfs}, cell)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			return err
+		}
+		if utilization {
+			pfVals[i] = pfm.RBUtilization
+			bluVals[i] = rep.Speculative.RBUtilization
+		} else {
+			pfVals[i] = pfm.ThroughputMbps
+			bluVals[i] = rep.Speculative.ThroughputMbps
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for d, hPerUE := range densities {
+		pfMean := stats.Mean(pfVals[d*placements : (d+1)*placements])
+		bluMean := stats.Mean(bluVals[d*placements : (d+1)*placements])
 		gain := 0.0
 		if pfMean > 0 {
 			gain = bluMean / pfMean

@@ -13,10 +13,12 @@
 package mcmc
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"blu/internal/blueprint"
+	"blu/internal/parallel"
 	"blu/internal/rng"
 )
 
@@ -35,6 +37,17 @@ type Options struct {
 	MaxHTs int
 	// Seed drives the chain.
 	Seed uint64
+	// Chains is the number of independent Metropolis–Hastings chains
+	// (default 1). Chain 0 consumes exactly the single-chain stream for
+	// Seed; additional chains draw from streams derived from
+	// (Seed, chain index), so adding chains refines the MAP estimate
+	// without perturbing chain 0.
+	Chains int
+	// Parallelism bounds the worker goroutines running the chains
+	// (0 = GOMAXPROCS, 1 = sequential). Chains are reduced with a
+	// deterministic tie-break (score, then chain index), so the result
+	// is identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -53,19 +66,27 @@ func (o Options) withDefaults(n int) Options {
 			o.MaxHTs = 8
 		}
 	}
+	if o.Chains <= 0 {
+		o.Chains = 1
+	}
 	return o
 }
 
 // Result reports the chain outcome.
 type Result struct {
-	// Topology is the maximum-a-posteriori topology visited.
+	// Topology is the maximum-a-posteriori topology visited by any chain.
 	Topology *blueprint.Topology
 	// Violation is its total constraint violation (−log domain).
 	Violation float64
-	// Accepted counts accepted proposals.
+	// Accepted counts accepted proposals across all chains.
 	Accepted int
-	// Iterations is the chain length run.
+	// Iterations is the total chain length run across all chains.
 	Iterations int
+	// Chains is the number of independent chains run.
+	Chains int
+	// BestChain is the index of the chain that produced the MAP sample
+	// (ties break toward the lowest index).
+	BestChain int
 }
 
 // state is the chain state in the transformed (−log) domain.
@@ -99,25 +120,70 @@ func (s *state) topology() *blueprint.Topology {
 	return t
 }
 
-// Infer runs the Metropolis–Hastings chain over topologies and returns
-// the MAP sample.
+// Infer runs opts.Chains independent Metropolis–Hastings chains over
+// topologies and returns the MAP sample across them. Chains run on up
+// to opts.Parallelism workers; each consumes its own seed-derived rng
+// stream and results are reduced in chain order (higher posterior score
+// wins, ties toward the lower chain index), so the returned result is
+// identical for every Parallelism setting.
 func Infer(m *blueprint.Measurements, opts Options) (*Result, error) {
 	if m == nil || m.N == 0 {
 		return nil, errors.New("mcmc: measurements cover no clients")
 	}
 	opts = opts.withDefaults(m.N)
 	target := m.Transform()
-	r := rng.New(opts.Seed)
+	root := rng.New(opts.Seed)
 
-	cur := &state{n: m.N}
+	// Derive every chain's stream before fanning out: chain 0 *consumes*
+	// root (keeping the historical single-chain stream for Seed), so the
+	// read-only SplitIndex derivations for the extra chains must all
+	// happen before any chain starts advancing root's state.
+	streams := make([]*rng.Source, opts.Chains)
+	streams[0] = root
+	for c := 1; c < opts.Chains; c++ {
+		streams[c] = root.SplitIndex("chain", c)
+	}
+
+	outs := make([]chainOut, opts.Chains)
+	err := parallel.ForEach(context.Background(), opts.Parallelism, opts.Chains, func(c int) error {
+		outs[c] = runChain(target, m.N, opts, streams[c])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Chains: opts.Chains}
+	bestIdx := 0
+	for c := range outs {
+		res.Accepted += outs[c].accepted
+		res.Iterations += opts.Iterations
+		if c > 0 && outs[c].score > outs[bestIdx].score {
+			bestIdx = c
+		}
+	}
+	res.BestChain = bestIdx
+	res.Topology = outs[bestIdx].best.topology().Normalize()
+	res.Violation = outs[bestIdx].viol
+	return res, nil
+}
+
+// chainOut is one chain's locally reduced outcome.
+type chainOut struct {
+	best     *state
+	viol     float64
+	score    float64
+	accepted int
+}
+
+// runChain runs one Metropolis–Hastings chain from the empty topology
+// and returns its MAP sample.
+func runChain(target *blueprint.Transformed, n int, opts Options, r *rng.Source) chainOut {
+	cur := &state{n: n}
 	curViol, _ := blueprint.Residual(target, cur.topology())
 	curScore := -opts.Beta*curViol - opts.HTPenalty*float64(len(cur.hts))
 
-	best := cur.clone()
-	bestViol := curViol
-	bestScore := curScore
-
-	res := &Result{Iterations: opts.Iterations}
+	out := chainOut{best: cur.clone(), viol: curViol, score: curScore}
 	for it := 0; it < opts.Iterations; it++ {
 		prop, ok := propose(cur, target, opts, r)
 		if !ok {
@@ -128,15 +194,13 @@ func Infer(m *blueprint.Measurements, opts Options) (*Result, error) {
 		// Metropolis acceptance (symmetric proposals assumed).
 		if propScore >= curScore || r.Float64() < math.Exp(propScore-curScore) {
 			cur, curViol, curScore = prop, propViol, propScore
-			res.Accepted++
-			if curScore > bestScore {
-				best, bestViol, bestScore = cur.clone(), curViol, curScore
+			out.accepted++
+			if curScore > out.score {
+				out.best, out.viol, out.score = cur.clone(), curViol, curScore
 			}
 		}
 	}
-	res.Topology = best.topology().Normalize()
-	res.Violation = bestViol
-	return res, nil
+	return out
 }
 
 // propose draws one of the move kinds: add a hidden terminal, remove

@@ -8,12 +8,12 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"blu/internal/blueprint"
 	"blu/internal/geom"
+	"blu/internal/parallel"
 	"blu/internal/rng"
 	"blu/internal/sim"
 	"blu/internal/topology"
@@ -33,7 +33,9 @@ type BatchConfig struct {
 	Seed uint64
 	// InferOptions tunes inference (zero = defaults).
 	InferOptions blueprint.InferOptions
-	// Workers bounds parallelism (default NumCPU).
+	// Workers bounds parallelism (0 = GOMAXPROCS, 1 = sequential).
+	// Results are deterministic at every setting: each topology is
+	// seeded from (Seed, index) and lands in its batch-order slot.
 	Workers int
 }
 
@@ -46,9 +48,6 @@ func (c BatchConfig) withDefaults() BatchConfig {
 	}
 	if c.Subframes <= 0 {
 		c.Subframes = 4000
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.NumCPU()
 	}
 	return c
 }
@@ -72,33 +71,14 @@ type TopologyResult struct {
 	Converged bool
 }
 
-// RunBatch generates and scores cfg.Topologies random topologies,
-// in parallel. Results are returned in batch order.
+// RunBatch generates and scores cfg.Topologies random topologies, in
+// parallel on up to cfg.Workers goroutines. Results are returned in
+// batch order regardless of scheduling.
 func RunBatch(cfg BatchConfig) ([]TopologyResult, error) {
 	cfg = cfg.withDefaults()
-	results := make([]TopologyResult, cfg.Topologies)
-	errs := make([]error, cfg.Topologies)
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for idx := 0; idx < cfg.Topologies; idx++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(idx int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := runOne(cfg, idx)
-			results[idx] = res
-			errs[idx] = err
-		}(idx)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return parallel.Map(context.Background(), cfg.Workers, cfg.Topologies, func(idx int) (TopologyResult, error) {
+		return runOne(cfg, idx)
+	})
 }
 
 func runOne(cfg BatchConfig, idx int) (TopologyResult, error) {

@@ -1,9 +1,9 @@
 package netsim
 
 import (
-	"testing"
-
 	"math"
+	"reflect"
+	"testing"
 
 	"blu/internal/sim"
 	"blu/internal/stats"
@@ -54,6 +54,31 @@ func TestRunBatchDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i].Accuracy != b[i].Accuracy || a[i].NumHiddenTerminals != b[i].NumHiddenTerminals {
 			t.Fatalf("batch not deterministic at %d", i)
+		}
+	}
+}
+
+// TestRunBatchWorkersDeterministic requires the batch results to be
+// identical at every Workers setting: each topology is seeded from
+// (Seed, index) and lands in its batch-order slot, so the worker count
+// only changes wall-clock time.
+func TestRunBatchWorkersDeterministic(t *testing.T) {
+	base := BatchConfig{Topologies: 6, NodeSteps: []int{5, 10}, Subframes: 2000, Seed: 15}
+	seqCfg := base
+	seqCfg.Workers = 1
+	seq, err := RunBatch(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 3, 8} {
+		cfg := base
+		cfg.Workers = w
+		got, err := RunBatch(cfg)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Errorf("Workers=%d batch diverges from sequential", w)
 		}
 	}
 }

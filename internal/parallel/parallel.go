@@ -1,0 +1,131 @@
+// Package parallel is the repo's one worker-pool primitive: bounded,
+// context-cancellable fan-out over an indexed set of independent tasks.
+//
+// Every parallel site in the codebase (multi-start inference, MCMC
+// chains, per-seed experiment trials, netsim topology batches) funnels
+// through ForEach so the concurrency discipline lives in one place:
+//
+//   - workers are bounded (default GOMAXPROCS) — fan-out never spawns
+//     unbounded goroutines no matter how many tasks are queued;
+//   - results go into caller-owned slots indexed by task — there are no
+//     appends under a lock and no ordering races, so reductions over the
+//     slots are deterministic regardless of scheduling;
+//   - cancellation is cooperative: a context cancellation or a task
+//     error stops handing out new indices, and the first error by task
+//     index (not completion order) is returned, keeping even the error
+//     path deterministic.
+//
+// Determinism contract: ForEach(…, 1, n, fn) and ForEach(…, k, n, fn)
+// perform exactly the same fn calls; if each fn(i) writes only slot i of
+// a pre-sized slice and reads only its own inputs, the slice contents —
+// and any in-order reduction over them — are byte-identical for every
+// worker count.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: values <= 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and blocks until all started tasks return. With one worker
+// it runs inline on the calling goroutine (no goroutines, no channel
+// traffic), so a Parallelism: 1 run is genuinely sequential.
+//
+// If the context is cancelled or a task fails, no new tasks are started
+// (in-flight ones finish) and ForEach reports the context error or the
+// failed task's error with the smallest index.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next task index to hand out
+		stop atomic.Bool  // set on first error or cancellation
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	fail := func(i int, err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+	}
+
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(n, err) // context errors rank after any task error
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs fn(i) for every i in [0, n) with ForEach semantics and
+// collects the results into a slice indexed by task, so out[i] is
+// always fn(i)'s value no matter how the work was scheduled.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 300
+			counts := make([]atomic.Int32, n)
+			err := ForEach(context.Background(), workers, n, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("index %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	if err := ForEach(context.Background(), 4, 0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(context.Background(), 4, -5, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("fn ran for n <= 0")
+	}
+}
+
+func TestForEachReturnsSmallestIndexError(t *testing.T) {
+	errs := map[int]error{
+		17: errors.New("late failure"),
+		3:  errors.New("early failure"),
+	}
+	// A barrier guarantees every task starts before any can fail, so
+	// both failures always run and the smallest index must win.
+	const n = 20
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	err := ForEach(context.Background(), n, n, func(i int) error {
+		barrier.Done()
+		barrier.Wait()
+		return errs[i]
+	})
+	if err == nil {
+		t.Fatal("no error reported")
+	}
+	if err.Error() != "early failure" {
+		t.Fatalf("got %q, want the smallest-index error", err)
+	}
+}
+
+func TestForEachSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := ForEach(context.Background(), 1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 5 {
+		t.Fatalf("sequential run did not stop at the error: ran %v", ran)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 2, 1000, func(i int) error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) && started.Load() >= 1000 {
+		t.Errorf("cancelled pool ran all tasks and reported %v", err)
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	err := ForEach(ctx, 1, 10, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestMapIndexedResults(t *testing.T) {
+	out, err := Map(context.Background(), 8, 100, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrorDropsResults(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), 4, 50, func(i int) (int, error) {
+		if i == 25 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+// TestForEachDeterministicSlots is the pool's core determinism
+// contract: indexed slot writes produce identical slices at every
+// worker count.
+func TestForEachDeterministicSlots(t *testing.T) {
+	const n = 500
+	run := func(workers int) []uint64 {
+		slots := make([]uint64, n)
+		if err := ForEach(context.Background(), workers, n, func(i int) error {
+			v := uint64(i)
+			for k := 0; k < 100; k++ { // some per-task mixing work
+				v = v*6364136223846793005 + 1442695040888963407
+			}
+			slots[i] = v
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return slots
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachHammer drives many concurrent ForEach pools from many
+// goroutines at once; under -race this is the lockdown test for the
+// pool's internal state.
+func TestForEachHammer(t *testing.T) {
+	const (
+		pools   = 16
+		tasks   = 200
+		workers = 8
+	)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	wg.Add(pools)
+	for p := 0; p < pools; p++ {
+		go func(p int) {
+			defer wg.Done()
+			slots := make([]int, tasks)
+			if err := ForEach(context.Background(), workers, tasks, func(i int) error {
+				slots[i] = i + p
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			var sum int64
+			for _, v := range slots {
+				sum += int64(v)
+			}
+			total.Add(sum)
+		}(p)
+	}
+	wg.Wait()
+	// Each pool sums 0+1+...+(tasks-1) + tasks*p.
+	want := int64(pools*tasks*(tasks-1)/2) + int64(tasks*pools*(pools-1)/2)
+	if total.Load() != want {
+		t.Fatalf("hammer total = %d, want %d", total.Load(), want)
+	}
+}

@@ -70,14 +70,44 @@ func (r *Source) Uint64() uint64 {
 // each other. Splitting the same parent twice with the same label yields
 // the same child only if the parent state is identical, so callers should
 // split all children up front from a fresh parent.
+//
+// Split never mutates the parent, so one parent may be shared by many
+// goroutines as long as each only derives children from it (each with a
+// distinct label or index) and consumes from its own child.
 func (r *Source) Split(label string) *Source {
+	return r.child(labelHash(label))
+}
+
+// SplitIndex derives the i-th stream of the labelled family: an
+// independent child keyed by (label, i). It is the per-start /
+// per-chain / per-trial stream-offset derivation used by the parallel
+// fan-out sites — task i always receives the same stream for a given
+// seed path, no matter which worker runs it or in what order, which is
+// what makes parallel execution byte-identical to sequential. Like
+// Split it never mutates the parent.
+func (r *Source) SplitIndex(label string, i int) *Source {
+	h := labelHash(label)
+	// Offset the family hash by the stream index with a full SplitMix64
+	// avalanche so adjacent indices land on unrelated states.
+	h ^= 0x9E3779B97F4A7C15 * (uint64(i) + 1)
+	_, h = splitMix64(h)
+	return r.child(h)
+}
+
+// labelHash is FNV-64 over the label bytes.
+func labelHash(label string) uint64 {
 	h := uint64(14695981039346656037) // FNV-64 offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	// Mix the label hash with the parent state without consuming from it,
-	// then run the mixture through SplitMix64 for avalanche.
+	return h
+}
+
+// child builds the derived Source for a label/index hash: the hash is
+// mixed with the parent state without consuming from it, then run
+// through SplitMix64 for avalanche.
+func (r *Source) child(h uint64) *Source {
 	var child Source
 	sm := h ^ r.s[0] ^ rotl(r.s[2], 13)
 	for i := range child.s {

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -66,6 +67,71 @@ func TestSplitNotPerturbedByParentConsumption(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		if c1.Uint64() != c2.Uint64() {
 			t.Fatalf("sibling consumption perturbed child at %d", i)
+		}
+	}
+}
+
+func TestSplitIndexStreams(t *testing.T) {
+	parent := New(11)
+	// Same (label, index) → same stream.
+	a, b := parent.SplitIndex("start", 5), parent.SplitIndex("start", 5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-index streams diverged at %d", i)
+		}
+	}
+	// Distinct indices of one family must be pairwise distinct, and
+	// distinct from the plain label split.
+	seen := map[uint64]int{parent.Split("start").Uint64(): -1}
+	for i := 0; i < 64; i++ {
+		v := parent.SplitIndex("start", i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d collide on first draw", i, j)
+		}
+		seen[v] = i
+	}
+	// Different families with the same index must differ too.
+	if parent.SplitIndex("start", 3).Uint64() == parent.SplitIndex("perturb", 3).Uint64() {
+		t.Error("families start/perturb collide at index 3")
+	}
+}
+
+func TestSplitIndexDoesNotMutateParent(t *testing.T) {
+	p1, p2 := New(13), New(13)
+	for i := 0; i < 32; i++ {
+		p1.SplitIndex("x", i) // deriving children must not consume
+	}
+	for i := 0; i < 100; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatalf("SplitIndex consumed parent state (diverged at %d)", i)
+		}
+	}
+}
+
+// TestSplitConcurrentDerivation locks down the sharing contract the
+// parallel fan-out relies on: many goroutines deriving children from
+// one parent concurrently get exactly the streams sequential derivation
+// yields (and -race must stay silent).
+func TestSplitConcurrentDerivation(t *testing.T) {
+	parent := New(17)
+	const n = 64
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = parent.SplitIndex("task", i).Uint64()
+	}
+	got := make([]uint64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			got[i] = parent.SplitIndex("task", i).Uint64()
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("concurrent derivation differs at %d", i)
 		}
 	}
 }
