@@ -30,4 +30,16 @@ go test $short ./...
 echo "== go test -race =="
 go test -race $short ./...
 
+echo "== obs smoke =="
+# A reduced-scale testbed experiment must emit a manifest that parses,
+# validates, survives a JSON round-trip, and carries nonzero scheduler
+# grant/CCA-block/collision counters — proving the obs layer is wired
+# through the controller, schedulers, and CLI end to end.
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/blusim -scale 0.05 -metrics "$obsdir/manifest.json" fig10 >/dev/null
+go run ./cmd/blumanifest \
+  -require sched_blu_grants_total,sched_blu_blocked_total,sched_blu_collision_total,sched_pf_grants_total,core_measurement_phases_total,core_speculative_phases_total \
+  "$obsdir/manifest.json"
+
 echo "ci: all clean"

@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	blubench [-o BENCH_baseline.json]
+//	blubench [-o BENCH_baseline.json] [-metrics file] [-pprof addr]
 //
 // The determinism test suite guarantees every parallelism setting
 // returns the identical topology, so each speedup line is a pure
 // wall-clock comparison of the same computation.
+//
+// The obs layer is enabled for the run, so the written baseline embeds
+// the metric snapshot (inference starts/iterations, MCMC acceptance)
+// alongside the timings — the BENCH file records what work the numbers
+// measured, not just how long it took.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"blu/internal/blueprint"
 	"blu/internal/mcmc"
+	"blu/internal/obs"
 	"blu/internal/rng"
 )
 
@@ -39,8 +45,9 @@ type Entry struct {
 
 // Baseline is the file layout of BENCH_baseline.json.
 type Baseline struct {
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion   string `json:"go_version"`
+	GitDescribe string `json:"git_describe,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
 	// Note flags environments in which the speedup column cannot mean
 	// anything (a single-CPU machine timeslices the workers instead of
 	// running them concurrently).
@@ -48,6 +55,10 @@ type Baseline struct {
 	Entries []Entry `json:"entries"`
 	// Speedups maps "<bench>/P=<p>_vs_P=1" to sequential-ns/parallel-ns.
 	Speedups map[string]float64 `json:"speedups"`
+	// Metrics is the obs snapshot accumulated over the benchmark run,
+	// describing the work behind the timings (inference starts and
+	// repair iterations, MCMC chains and acceptance counts).
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -60,14 +71,34 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("blubench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_baseline.json", "output file")
+	metrics := fs.String("metrics", "", "also write a JSON run manifest to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "blubench: pprof on http://%s/debug/pprof/\n", addr)
+	}
+
+	// The baseline always embeds the metric snapshot; reset first so the
+	// counts describe exactly this benchmark run.
+	obs.Enable()
+	obs.Reset()
+	var man *obs.Manifest
+	if *metrics != "" {
+		man = obs.NewManifest("blubench", args)
+		man.Config = map[string]any{"out": *out}
+	}
 
 	base := &Baseline{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Speedups:   map[string]float64{},
+		GoVersion:   runtime.Version(),
+		GitDescribe: obs.GitDescribe(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Speedups:    map[string]float64{},
 	}
 	if base.GOMAXPROCS == 1 {
 		base.Note = "single-CPU machine: P>1 timeslices on one core, so the " +
@@ -140,6 +171,7 @@ func run(args []string) error {
 		}
 	}
 
+	base.Metrics = obs.Snap()
 	data, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err
@@ -157,6 +189,12 @@ func run(args []string) error {
 		fmt.Printf("  %-32s %.2fx\n", k, base.Speedups[k])
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if man != nil {
+		if err := man.Write(*metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "blubench: wrote manifest %s\n", *metrics)
+	}
 	return nil
 }
 

@@ -1,0 +1,88 @@
+// Command blumanifest validates a JSON run manifest written by
+// blusim/blutopo/blubench via their -metrics flag. CI uses it to gate
+// on manifest integrity: the file must parse, survive a marshal →
+// parse round-trip unchanged, pass the obs.Manifest invariants, and —
+// when -require is given — carry nonzero values for the named
+// counters.
+//
+// Usage:
+//
+//	blumanifest [-require counter,counter,...] manifest.json
+//
+// Exit status is nonzero on any failure, with the reason on stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"blu/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "blumanifest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blumanifest", flag.ContinueOnError)
+	require := fs.String("require", "", "comma-separated counters that must be present and nonzero")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: blumanifest [-require a,b,c] <manifest.json>")
+	}
+	path := fs.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var man obs.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := man.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	// Round-trip: re-marshal the parsed manifest and parse it again; the
+	// two in-memory forms must agree, proving no field is lost or
+	// mangled by the schema (e.g. a numeric type that truncates).
+	again, err := json.Marshal(&man)
+	if err != nil {
+		return err
+	}
+	var man2 obs.Manifest
+	if err := json.Unmarshal(again, &man2); err != nil {
+		return fmt.Errorf("%s: re-parse: %w", path, err)
+	}
+	if !reflect.DeepEqual(man, man2) {
+		return fmt.Errorf("%s: manifest does not survive a JSON round-trip", path)
+	}
+
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		v, ok := man.Metrics.Counters[name]
+		if !ok {
+			return fmt.Errorf("%s: required counter %q missing from snapshot", path, name)
+		}
+		if v == 0 {
+			return fmt.Errorf("%s: required counter %q is zero", path, name)
+		}
+	}
+
+	fmt.Printf("%s: ok (tool=%s phases=%d counters=%d)\n",
+		path, man.Tool, len(man.Phases), len(man.Metrics.Counters))
+	return nil
+}

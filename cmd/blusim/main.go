@@ -8,10 +8,13 @@
 //
 // Flags:
 //
-//	-scale f     workload scale in (0,1], 1 = paper scale (default 1)
-//	-seed n      random seed (default 1)
-//	-parallel n  worker goroutines per experiment (0 = all cores,
-//	             1 = sequential); tables are identical at any setting
+//	-scale f       workload scale in (0,1], 1 = paper scale (default 1)
+//	-seed n        random seed (default 1)
+//	-parallel n    worker goroutines per experiment (0 = all cores,
+//	               1 = sequential); tables are identical at any setting
+//	-metrics file  enable the obs layer and write a JSON run manifest
+//	               (config, seed, per-experiment timings, metric snapshot)
+//	-pprof addr    serve net/http/pprof on addr (e.g. localhost:6060)
 //
 // Each experiment prints a table whose rows mirror the series the
 // corresponding paper figure plots; EXPERIMENTS.md records the
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"blu/internal/experiments"
+	"blu/internal/obs"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1, "workload scale in (0,1]; 1 is paper scale")
 	seed := fs.Uint64("seed", 1, "random seed")
 	par := fs.Int("parallel", 0, "worker goroutines per experiment (0 = all cores, 1 = sequential)")
+	metrics := fs.String("metrics", "", "write a JSON run manifest to this file (enables metric recording)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: blusim [flags] <experiment|all|list>")
 		fs.PrintDefaults()
@@ -51,8 +57,27 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("no experiment given")
 	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "blusim: pprof on http://%s/debug/pprof/\n", addr)
+	}
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *par}
 	reg := experiments.Registry()
+
+	var man *obs.Manifest
+	if *metrics != "" {
+		obs.Enable()
+		man = obs.NewManifest("blusim", args)
+		man.Seed = *seed
+		man.Config = map[string]any{
+			"scale":    *scale,
+			"seed":     *seed,
+			"parallel": *par,
+		}
+	}
 
 	switch cmd := fs.Arg(0); cmd {
 	case "list":
@@ -62,17 +87,25 @@ func run(args []string) error {
 		return nil
 	case "all":
 		for _, id := range experiments.IDs() {
-			if err := runOne(reg, id, opts); err != nil {
+			if err := runOne(reg, id, opts, man); err != nil {
 				return err
 			}
 		}
-		return nil
 	default:
-		return runOne(reg, cmd, opts)
+		if err := runOne(reg, cmd, opts, man); err != nil {
+			return err
+		}
 	}
+	if man != nil {
+		if err := man.Write(*metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "blusim: wrote manifest %s\n", *metrics)
+	}
+	return nil
 }
 
-func runOne(reg map[string]experiments.Runner, id string, opts experiments.Options) error {
+func runOne(reg map[string]experiments.Runner, id string, opts experiments.Options, man *obs.Manifest) error {
 	runner, ok := reg[id]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try: blusim list)", id)
@@ -81,6 +114,9 @@ func runOne(reg map[string]experiments.Runner, id string, opts experiments.Optio
 	table, err := runner(opts)
 	if err != nil {
 		return fmt.Errorf("%s: %w", id, err)
+	}
+	if man != nil {
+		man.AddPhase(id, table.Title, time.Since(start))
 	}
 	table.Fprint(os.Stdout)
 	fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	blutopo [-seed n] [-tol f] [-parallel n] [-mcmc] [-chains n] trace.json
+//	blutopo [-seed n] [-tol f] [-parallel n] [-mcmc] [-chains n]
+//	        [-metrics file] [-pprof addr] trace.json
 //
 // The tool replays the trace, estimates the pair-wise client access
 // distributions from the access outcomes, runs BLU's deterministic
@@ -20,6 +21,7 @@ import (
 	"blu/internal/blueprint"
 	"blu/internal/mcmc"
 	"blu/internal/netsim"
+	"blu/internal/obs"
 	"blu/internal/sim"
 	"blu/internal/trace"
 )
@@ -38,12 +40,40 @@ func run(args []string) error {
 	par := fs.Int("parallel", 0, "worker goroutines for multi-start inference and MCMC chains (0 = all cores, 1 = sequential)")
 	runMCMC := fs.Bool("mcmc", false, "also run the MCMC baseline")
 	chains := fs.Int("chains", 1, "independent MCMC chains")
+	metrics := fs.String("metrics", "", "write a JSON run manifest to this file (enables metric recording)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: blutopo [flags] <trace.json>")
 	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "blutopo: pprof on http://%s/debug/pprof/\n", addr)
+	}
+	var man *obs.Manifest
+	if *metrics != "" {
+		obs.Enable()
+		man = obs.NewManifest("blutopo", args)
+		man.Seed = *seed
+		man.Config = map[string]any{
+			"trace":    fs.Arg(0),
+			"tol":      *tol,
+			"parallel": *par,
+			"mcmc":     *runMCMC,
+			"chains":   *chains,
+		}
+	}
+	phase := func(name, detail string, since time.Time) {
+		if man != nil {
+			man.AddPhase(name, detail, time.Since(since))
+		}
+	}
+	replayStart := time.Now()
 	tr, err := trace.Load(fs.Arg(0))
 	if err != nil {
 		return err
@@ -53,6 +83,7 @@ func run(args []string) error {
 		return err
 	}
 	meas := netsim.MeasureFromMasks(cell)
+	phase("replay", fs.Arg(0), replayStart)
 	truth := cell.GroundTruth()
 	fmt.Printf("clients: %d, measured over %d subframes\n", tr.NumUE, cell.Subframes())
 	fmt.Printf("ground truth:     %v\n", truth)
@@ -62,6 +93,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	phase("infer", "deterministic constraint repair", start)
 	fmt.Printf("blueprint (BLU):  %v\n", inf.Topology)
 	fmt.Printf("  accuracy=%.3f violation=%.4f converged=%v iters=%d time=%.1fms\n",
 		blueprint.Accuracy(truth, inf.Topology), inf.Violation, inf.Converged,
@@ -73,10 +105,17 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		phase("mcmc", fmt.Sprintf("%d chains", mc.Chains), start)
 		fmt.Printf("blueprint (MCMC): %v\n", mc.Topology)
 		fmt.Printf("  accuracy=%.3f violation=%.4f accepted=%d/%d chains=%d best=%d time=%.1fms\n",
 			blueprint.Accuracy(truth, mc.Topology), mc.Violation, mc.Accepted,
 			mc.Iterations, mc.Chains, mc.BestChain, float64(time.Since(start).Microseconds())/1000)
+	}
+	if man != nil {
+		if err := man.Write(*metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "blutopo: wrote manifest %s\n", *metrics)
 	}
 	return nil
 }

@@ -5,8 +5,23 @@ import (
 	"errors"
 	"math"
 
+	"blu/internal/obs"
 	"blu/internal/parallel"
 	"blu/internal/rng"
+)
+
+// Inference convergence telemetry: totals across every Infer call plus
+// the residual distribution, so a run manifest shows whether the
+// constraint-repair solver is converging and at what repair cost.
+var (
+	obsInfers       = obs.GetCounter("blueprint_infer_total")
+	obsInferStarts  = obs.GetCounter("blueprint_starts_total")
+	obsInferIters   = obs.GetCounter("blueprint_repair_iterations_total")
+	obsConverged    = obs.GetCounter("blueprint_converged_total")
+	obsLastViol     = obs.GetGauge("blueprint_last_violation")
+	obsLastMaxViol  = obs.GetGauge("blueprint_last_max_violation")
+	obsResidualHist = obs.GetHistogram("blueprint_violation_residual",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2})
 )
 
 // InferOptions tunes the deterministic topology-inference algorithm of
@@ -230,6 +245,17 @@ func finishInfer(target *Transformed, best *solverState, opts InferOptions, star
 	res.Topology = topo
 	res.Violation, res.MaxViolation = Residual(target, topo)
 	res.Converged = res.MaxViolation <= opts.Tolerance
+	if obs.Enabled() {
+		obsInfers.Inc()
+		obsInferStarts.Add(int64(starts))
+		obsInferIters.Add(int64(iters))
+		if res.Converged {
+			obsConverged.Inc()
+		}
+		obsLastViol.Set(res.Violation)
+		obsLastMaxViol.Set(res.MaxViolation)
+		obsResidualHist.Observe(res.Violation)
+	}
 	return res
 }
 

@@ -10,13 +10,36 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"blu/internal/access"
 	"blu/internal/blueprint"
 	"blu/internal/joint"
 	"blu/internal/lte"
+	"blu/internal/obs"
 	"blu/internal/sched"
 	"blu/internal/sim"
+)
+
+// Controller phase accounting, exposed through the obs layer so runs
+// can be audited without log scraping: how the horizon split between
+// phases, how often the §3.5 dynamics forced re-measurement, and how
+// long each phase and inference took.
+var (
+	obsMeasPhases    = obs.GetCounter("core_measurement_phases_total")
+	obsSpecPhases    = obs.GetCounter("core_speculative_phases_total")
+	obsMeasSubframes = obs.GetCounter("core_measurement_subframes_total")
+	obsSpecSubframes = obs.GetCounter("core_speculative_subframes_total")
+	// obsRefreshPhases counts measurement phases after the first
+	// blueprint: RefreshThreshold-triggered partial re-measurement or a
+	// full re-measurement after a drift reset.
+	obsRefreshPhases = obs.GetCounter("core_refresh_phases_total")
+	obsDriftResets   = obs.GetCounter("core_drift_resets_total")
+	obsInferences    = obs.GetCounter("core_inferences_total")
+	obsMeasTimer     = obs.GetTimer("core_measurement_phase")
+	obsSpecTimer     = obs.GetTimer("core_speculative_phase")
+	obsInferTimer    = obs.GetTimer("core_inference")
+	obsDriftGauge    = obs.GetGauge("core_last_drift")
 )
 
 // Config tunes the controller.
@@ -163,12 +186,23 @@ func (s *System) Run() (*Report, error) {
 	sf := 0
 	horizon := s.cell.Subframes()
 	for sf < horizon {
-		// Measurement phase, sized by what the estimator still needs.
+		// Measurement phase, sized by what the estimator still needs. A
+		// phase entered after a blueprint already exists is a refresh:
+		// either RefreshThreshold found under-sampled pairs or a drift
+		// reset discarded the statistics.
+		refresh := rep.FinalTopology != nil
+		measStart := time.Now()
 		msf, err := s.measurementPhase(sf, horizon)
 		if err != nil {
 			return nil, err
 		}
 		if msf > 0 {
+			obsMeasTimer.Record(time.Since(measStart))
+			obsMeasPhases.Inc()
+			obsMeasSubframes.Add(int64(msf))
+			if refresh {
+				obsRefreshPhases.Inc()
+			}
 			rep.Phases = append(rep.Phases, Phase{Kind: PhaseMeasurement, Subframes: msf})
 			rep.MeasurementSubframes += msf
 			sf += msf
@@ -178,10 +212,13 @@ func (s *System) Run() (*Report, error) {
 		}
 
 		// Blueprint and reconfigure the speculative scheduler.
+		inferStart := time.Now()
 		res, err := blueprint.Infer(s.estimator.Measurements(), s.cfg.InferOptions)
 		if err != nil {
 			return nil, fmt.Errorf("core: inference: %w", err)
 		}
+		obsInferTimer.Record(time.Since(inferStart))
+		obsInferences.Inc()
 		s.spec.SetDistribution(joint.NewCalculator(res.Topology))
 		rep.FinalTopology = res.Topology
 		truth := s.cell.GroundTruthAt(sf)
@@ -193,15 +230,21 @@ func (s *System) Run() (*Report, error) {
 		if end > horizon {
 			end = horizon
 		}
+		specStart := time.Now()
 		metrics := sim.Run(s.cell, s.spec, sf, end, func(_ int, schedule *lte.Schedule, results []lte.RBResult) {
 			s.recordObservation(schedule, results)
 		})
+		obsSpecTimer.Record(time.Since(specStart))
+		obsSpecPhases.Inc()
+		obsSpecSubframes.Add(int64(metrics.Subframes))
 		drift := s.drift(baseline)
+		obsDriftGauge.Set(drift)
 		detected := s.cfg.DriftThreshold > 0 && drift > s.cfg.DriftThreshold
 		if detected {
 			// Stationarity broke (mobility, traffic change): discard
 			// stale statistics so the next cycle re-measures.
 			s.estimator.Reset()
+			obsDriftResets.Inc()
 		}
 		rep.Phases = append(rep.Phases, Phase{
 			Kind:              PhaseSpeculative,

@@ -18,8 +18,21 @@ import (
 	"math"
 
 	"blu/internal/blueprint"
+	"blu/internal/obs"
 	"blu/internal/parallel"
 	"blu/internal/rng"
+)
+
+// Sampler telemetry for the obs layer: chain volume, acceptance, and
+// the residual of the returned MAP sample — enough to judge whether
+// the baseline converged without re-running it.
+var (
+	obsInfers     = obs.GetCounter("mcmc_infer_total")
+	obsChains     = obs.GetCounter("mcmc_chains_total")
+	obsAccepted   = obs.GetCounter("mcmc_accepted_total")
+	obsIterations = obs.GetCounter("mcmc_iterations_total")
+	obsLastViol   = obs.GetGauge("mcmc_last_violation")
+	obsLastAccept = obs.GetGauge("mcmc_last_acceptance_rate")
 )
 
 // Options tunes the sampler. The zero value selects defaults.
@@ -165,6 +178,16 @@ func Infer(m *blueprint.Measurements, opts Options) (*Result, error) {
 	res.BestChain = bestIdx
 	res.Topology = outs[bestIdx].best.topology().Normalize()
 	res.Violation = outs[bestIdx].viol
+	if obs.Enabled() {
+		obsInfers.Inc()
+		obsChains.Add(int64(res.Chains))
+		obsAccepted.Add(int64(res.Accepted))
+		obsIterations.Add(int64(res.Iterations))
+		obsLastViol.Set(res.Violation)
+		if res.Iterations > 0 {
+			obsLastAccept.Set(float64(res.Accepted) / float64(res.Iterations))
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	Reset()
+	withEnabled(t, func() {
+		GetCounter("test_manifest_counter").Add(42)
+		GetGauge("test_manifest_gauge").Set(0.5)
+		GetTimer("test_manifest_timer").Record(7 * time.Millisecond)
+
+		m := NewManifest("obstest", []string{"-x", "1"})
+		m.Seed = 9
+		m.Config = map[string]any{"scale": 0.5}
+		m.AddPhase("warmup", "synthetic", 3*time.Millisecond)
+		path := filepath.Join(t.TempDir(), "manifest.json")
+		if err := m.Write(path); err != nil {
+			t.Fatal(err)
+		}
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Manifest
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("manifest does not parse: %v", err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("manifest invalid: %v", err)
+		}
+		// Round-trip: re-marshal and re-parse must reproduce the same
+		// manifest (no lossy fields, no NaN/Inf leaking into JSON).
+		again, err := json.Marshal(&got)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var got2 Manifest
+		if err := json.Unmarshal(again, &got2); err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Error("manifest not stable under a json round-trip")
+		}
+
+		if got.Tool != "obstest" || got.Seed != 9 {
+			t.Errorf("tool/seed = %q/%d", got.Tool, got.Seed)
+		}
+		if got.Metrics.Counters["test_manifest_counter"] != 42 {
+			t.Errorf("counter snapshot = %v", got.Metrics.Counters)
+		}
+		if len(got.Phases) != 1 || got.Phases[0].Name != "warmup" {
+			t.Errorf("phases = %+v", got.Phases)
+		}
+		if got.GitDescribe == "" || got.GoVersion == "" {
+			t.Error("build identity missing")
+		}
+	})
+}
+
+func TestManifestValidate(t *testing.T) {
+	now := time.Now().UTC()
+	ok := Manifest{Tool: "x", GoVersion: "go", StartedAt: now, FinishedAt: now}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+	cases := []Manifest{
+		{GoVersion: "go", StartedAt: now, FinishedAt: now},                                       // no tool
+		{Tool: "x", GoVersion: "go"},                                                             // no timestamps
+		{Tool: "x", GoVersion: "go", StartedAt: now, FinishedAt: now.Add(-time.Second)},          // reversed
+		{Tool: "x", GoVersion: "go", StartedAt: now, FinishedAt: now, Phases: []PhaseTiming{{}}}, // unnamed phase
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid manifest accepted", i)
+		}
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("empty address")
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs fn with recording on, restoring the disabled state
+// (the package default) afterwards so other tests see a quiet layer.
+func withEnabled(t *testing.T, fn func()) {
+	t.Helper()
+	Enable()
+	defer Disable()
+	fn()
+}
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	Reset()
+	c := GetCounter("test_disabled_counter")
+	f := GetFloatCounter("test_disabled_float")
+	g := GetGauge("test_disabled_gauge")
+	h := GetHistogram("test_disabled_hist", []float64{1, 2})
+	tm := GetTimer("test_disabled_timer")
+	c.Inc()
+	c.Add(5)
+	f.Add(2.5)
+	g.Set(7)
+	h.Observe(1.5)
+	tm.Record(time.Second)
+	if c.Value() != 0 || f.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tm.Count() != 0 {
+		t.Error("disabled recording mutated metrics")
+	}
+	s := Snap()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 || len(s.Timers) != 0 {
+		t.Errorf("disabled snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeFloat(t *testing.T) {
+	Reset()
+	withEnabled(t, func() {
+		c := GetCounter("test_counter")
+		c.Inc()
+		c.Add(4)
+		if c.Value() != 5 {
+			t.Errorf("counter = %d, want 5", c.Value())
+		}
+		if GetCounter("test_counter") != c {
+			t.Error("GetCounter did not return the registered handle")
+		}
+		f := GetFloatCounter("test_float")
+		f.Add(1.5)
+		f.Add(2.25)
+		if f.Value() != 3.75 {
+			t.Errorf("float counter = %v, want 3.75", f.Value())
+		}
+		g := GetGauge("test_gauge")
+		g.Set(-2)
+		g.Set(9.5)
+		if g.Value() != 9.5 {
+			t.Errorf("gauge = %v, want 9.5", g.Value())
+		}
+	})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	Reset()
+	withEnabled(t, func() {
+		h := GetHistogram("test_hist", []float64{1, 10})
+		for _, v := range []float64{0.5, 1, 5, 100} {
+			h.Observe(v)
+		}
+		s := Snap()
+		hs, ok := s.Histograms["test_hist"]
+		if !ok {
+			t.Fatal("histogram missing from snapshot")
+		}
+		if hs.Count != 4 || hs.Sum != 106.5 {
+			t.Errorf("count/sum = %d/%v, want 4/106.5", hs.Count, hs.Sum)
+		}
+		// 0.5 and 1 land in <=1; 5 in <=10; 100 overflows.
+		if hs.Buckets[0].Count != 2 || hs.Buckets[1].Count != 1 || hs.Overflow != 1 {
+			t.Errorf("buckets = %+v overflow = %d", hs.Buckets, hs.Overflow)
+		}
+	})
+}
+
+func TestTimerSnapshot(t *testing.T) {
+	Reset()
+	withEnabled(t, func() {
+		tm := GetTimer("test_timer")
+		tm.Record(10 * time.Millisecond)
+		tm.Record(30 * time.Millisecond)
+		s := Snap()
+		ts, ok := s.Timers["test_timer"]
+		if !ok {
+			t.Fatal("timer missing from snapshot")
+		}
+		if ts.Count != 2 || ts.TotalMS != 40 || ts.AvgMS != 20 {
+			t.Errorf("timer snapshot = %+v", ts)
+		}
+	})
+}
+
+func TestResetKeepsHandles(t *testing.T) {
+	Reset()
+	withEnabled(t, func() {
+		c := GetCounter("test_reset_counter")
+		c.Add(3)
+		Reset()
+		if c.Value() != 0 {
+			t.Error("reset did not zero the counter")
+		}
+		c.Inc()
+		if c.Value() != 1 {
+			t.Error("handle dead after reset")
+		}
+	})
+}
+
+// TestConcurrentRecording exercises every handle type from many
+// goroutines; run under -race this is the layer's thread-safety proof.
+func TestConcurrentRecording(t *testing.T) {
+	Reset()
+	withEnabled(t, func() {
+		c := GetCounter("test_conc_counter")
+		f := GetFloatCounter("test_conc_float")
+		h := GetHistogram("test_conc_hist", []float64{50})
+		tm := GetTimer("test_conc_timer")
+		const workers, per = 8, 1000
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					c.Inc()
+					f.Add(1)
+					h.Observe(float64(i % 100))
+					tm.Record(time.Microsecond)
+					_ = Snap()
+				}
+			}()
+		}
+		wg.Wait()
+		if c.Value() != workers*per {
+			t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+		}
+		if f.Value() != workers*per {
+			t.Errorf("float counter = %v, want %d", f.Value(), workers*per)
+		}
+		if h.Count() != workers*per {
+			t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+		}
+	})
+}
+
+// TestHotPathAllocationFree pins the overhead contract: recording into
+// pre-resolved handles allocates nothing, enabled or not.
+func TestHotPathAllocationFree(t *testing.T) {
+	Reset()
+	c := GetCounter("test_alloc_counter")
+	f := GetFloatCounter("test_alloc_float")
+	h := GetHistogram("test_alloc_hist", []float64{1, 10})
+	tm := GetTimer("test_alloc_timer")
+	record := func() {
+		c.Inc()
+		c.Add(2)
+		f.Add(0.5)
+		h.Observe(3)
+		tm.Record(time.Millisecond)
+	}
+	Disable()
+	if n := testing.AllocsPerRun(100, record); n != 0 {
+		t.Errorf("disabled recording allocates %.1f/op", n)
+	}
+	withEnabled(t, func() {
+		if n := testing.AllocsPerRun(100, record); n != 0 {
+			t.Errorf("enabled recording allocates %.1f/op", n)
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+)
+
+// ServePprof starts the net/http/pprof debug server on addr (e.g.
+// "localhost:6060"; ":0" picks a free port) in a background goroutine
+// and returns the bound address. The server lives for the rest of the
+// process — CLIs are short-lived, so there is no shutdown path.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers registered by the
+		// net/http/pprof import.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

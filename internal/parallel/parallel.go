@@ -27,6 +27,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"blu/internal/obs"
+)
+
+// Pool utilization for the obs layer: how often work fans out, how
+// many tasks execute, and how wide the last fan-out ran. Tasks are
+// coarse (a whole inference start, trial, or chain), so the per-task
+// counter add is noise next to the task itself.
+var (
+	obsForEach = obs.GetCounter("parallel_foreach_total")
+	obsInline  = obs.GetCounter("parallel_inline_runs_total")
+	obsTasks   = obs.GetCounter("parallel_tasks_total")
+	obsWorkers = obs.GetGauge("parallel_last_workers")
 )
 
 // Workers normalizes a parallelism knob: values <= 0 select
@@ -54,6 +67,13 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	if obs.Enabled() {
+		obsForEach.Inc()
+		obsWorkers.Set(float64(w))
+		if w == 1 {
+			obsInline.Inc()
+		}
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -62,6 +82,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+			obsTasks.Inc()
 		}
 		return nil
 	}
@@ -104,6 +125,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 					fail(i, err)
 					return
 				}
+				obsTasks.Inc()
 			}
 		}()
 	}

@@ -21,10 +21,7 @@ func NewAccessAware(env Env, dist joint.Distribution) (*AccessAware, error) {
 	if err := env.validate(); err != nil {
 		return nil, err
 	}
-	if env.Alpha <= 1 {
-		env.Alpha = 100
-	}
-	return &AccessAware{st: newPFState(env), dist: dist}, nil
+	return &AccessAware{st: newPFState(env, "AA"), dist: dist}, nil
 }
 
 // Name implements Scheduler.

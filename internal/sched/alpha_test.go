@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"blu/internal/joint"
+	"blu/internal/lte"
+	"blu/internal/obs"
+)
+
+// allSchedulers builds the three paper schedulers over the same Env
+// (and a unit-marginal joint distribution for the two that need one).
+func allSchedulers(t *testing.T, env Env) []Scheduler {
+	t.Helper()
+	p := make([]float64, env.NumUE)
+	for i := range p {
+		p[i] = 1
+	}
+	dist := &joint.Independent{P: p}
+	pf, err := NewPF(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := NewAccessAware(env, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewSpeculative(env, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheduler{pf, aa, spec}
+}
+
+// TestAlphaOneSharedByAllSchedulers is the regression test for the
+// Alpha-defaulting bug: NewSpeculative used to silently override
+// Alpha <= 1 to 100 even though Env.Alpha documents any window >= 1 as
+// valid, so the three schedulers could disagree on the same Env. With
+// the defaulting consolidated in newPFState, Alpha=1 must survive
+// construction in all three and produce the identical (memoryless) R_i
+// evolution under the same observed results.
+func TestAlphaOneSharedByAllSchedulers(t *testing.T) {
+	env := flatEnv(4, 2, 1, 0)
+	env.Alpha = 1
+	scheds := allSchedulers(t, env)
+
+	// Feed every scheduler the same receive results; with α=1 the EWMA
+	// has no memory, so after each Observe R_i equals exactly the bits
+	// delivered that subframe.
+	for sf, bits := range []float64{500, 0, 1250} {
+		results := []lte.RBResult{{
+			Scheduled: []int{0, 2},
+			Bits:      []float64{bits, bits / 2},
+			Outcomes:  []lte.Outcome{lte.OutcomeSuccess, lte.OutcomeSuccess},
+		}}
+		for _, s := range scheds {
+			s.Observe(sf, results)
+		}
+		want := []float64{bits, 0, bits / 2, 0}
+		for _, s := range scheds {
+			for i, w := range want {
+				if got := s.AvgThroughput(i); math.Abs(got-w) > 1e-9 {
+					t.Fatalf("sf %d: %s R_%d = %v, want %v (Alpha=1 overridden?)",
+						sf, s.Name(), i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestAlphaDefaultsIdentically checks the zero value selects the same
+// default window (100) in all three schedulers: their R_i evolutions
+// under identical results must match a scheduler built with an
+// explicit Alpha=100 exactly.
+func TestAlphaDefaultsIdentically(t *testing.T) {
+	defaulted := flatEnv(3, 2, 1, 0)
+	defaulted.Alpha = 0
+	explicit := flatEnv(3, 2, 1, 0)
+	explicit.Alpha = 100
+
+	scheds := allSchedulers(t, defaulted)
+	ref, err := NewPF(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sf := 0; sf < 5; sf++ {
+		results := []lte.RBResult{{
+			Scheduled: []int{sf % 3},
+			Bits:      []float64{1000},
+			Outcomes:  []lte.Outcome{lte.OutcomeSuccess},
+		}}
+		ref.Observe(sf, results)
+		for _, s := range scheds {
+			s.Observe(sf, results)
+			for i := 0; i < 3; i++ {
+				if got, want := s.AvgThroughput(i), ref.AvgThroughput(i); got != want {
+					t.Fatalf("sf %d: %s R_%d = %v, want default-Alpha evolution %v",
+						sf, s.Name(), i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerMetrics checks the per-scheduler obs counters: grants
+// accumulate from Schedule, outcome classes from Observe.
+func TestSchedulerMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	pf, err := NewPF(flatEnv(6, 4, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pf.st.metrics
+	grants0, sub0 := m.grants.Value(), m.subframes.Value()
+	sch := pf.Schedule(0)
+	if got := m.grants.Value() - grants0; got != 4 {
+		t.Errorf("grants delta = %d, want 4 (one per RB under SISO)", got)
+	}
+	if got := m.subframes.Value() - sub0; got != 1 {
+		t.Errorf("subframes delta = %d, want 1", got)
+	}
+
+	succ0, blk0, col0, wasted0 := m.success.Value(), m.blocked.Value(), m.collision.Value(), m.wastedRB.Value()
+	results := make([]lte.RBResult, len(sch.RB))
+	for b, ues := range sch.RB {
+		out := lte.OutcomeSuccess
+		switch b {
+		case 1:
+			out = lte.OutcomeBlocked
+		case 2:
+			out = lte.OutcomeCollision
+		}
+		results[b] = lte.RBResult{
+			Scheduled: ues,
+			Bits:      make([]float64, len(ues)),
+			Outcomes:  []lte.Outcome{out},
+		}
+	}
+	pf.Observe(0, results)
+	if got := m.success.Value() - succ0; got != 2 {
+		t.Errorf("success delta = %d, want 2", got)
+	}
+	if got := m.blocked.Value() - blk0; got != 1 {
+		t.Errorf("blocked delta = %d, want 1", got)
+	}
+	if got := m.collision.Value() - col0; got != 1 {
+		t.Errorf("collision delta = %d, want 1", got)
+	}
+	// RB 1 (CCA-blocked) and RB 2 (collision) decoded nothing: both are
+	// wasted RB units in the paper's utilization accounting.
+	if got := m.wastedRB.Value() - wasted0; got != 2 {
+		t.Errorf("wasted RB delta = %d, want 2", got)
+	}
+}

@@ -20,9 +20,11 @@ package sched
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"blu/internal/blueprint"
 	"blu/internal/lte"
+	"blu/internal/obs"
 )
 
 // Env describes the scheduling problem instance shared by all
@@ -38,7 +40,11 @@ type Env struct {
 	// K caps distinct UEs per subframe (control signaling, §3.3).
 	// K <= 0 means unlimited.
 	K int
-	// Alpha is the PF EWMA window (Section 3.2.1); typical 100–1000.
+	// Alpha is the PF EWMA window (Section 3.2.1); any window >= 1 is
+	// valid (1 = no memory), typical 100–1000. Values below 1 —
+	// including the zero value — select the default of 100; the
+	// defaulting happens in one place (newPFState) so PF, AccessAware,
+	// and Speculative always agree on the same Env.
 	Alpha float64
 	// Rate returns UE ue's estimated single-stream goodput (bits per RB
 	// unit per subframe) on RB unit b in the current subframe, as the
@@ -106,17 +112,88 @@ type Scheduler interface {
 // intra-subframe provisional load used to spread allocations across
 // clients within one subframe.
 type pfState struct {
-	env    Env
-	r      []float64 // R_i, bits per subframe (EWMA)
-	served []float64 // bits granted in the current subframe
+	env     Env
+	r       []float64 // R_i, bits per subframe (EWMA)
+	served  []float64 // bits granted in the current subframe
+	metrics *schedMetrics
 }
 
-func newPFState(env Env) *pfState {
-	s := &pfState{env: env, r: make([]float64, env.NumUE), served: make([]float64, env.NumUE)}
+// newPFState is the single place Env.Alpha is defaulted: windows >= 1
+// are taken as given (Alpha documents 1 as valid), anything below —
+// including the zero value — becomes 100, identically for all three
+// schedulers. name is the scheduler's display name, keying its metrics.
+func newPFState(env Env, name string) *pfState {
+	if env.Alpha < 1 {
+		env.Alpha = 100
+	}
+	s := &pfState{
+		env:     env,
+		r:       make([]float64, env.NumUE),
+		served:  make([]float64, env.NumUE),
+		metrics: newSchedMetrics(name),
+	}
 	for i := range s.r {
 		s.r[i] = 1 // avoid the 1/R_i singularity before first service
 	}
 	return s
+}
+
+// schedMetrics is one scheduler flavor's obs handles. Handles resolve
+// once per constructor call (cold); recording is atomic and gated on
+// obs.Enabled, so hot paths pay nothing when the layer is off.
+type schedMetrics struct {
+	subframes *obs.Counter // scheduled subframes
+	grants    *obs.Counter // (RB unit, UE) grants issued
+	success   *obs.Counter // grants decoded
+	blocked   *obs.Counter // grants silenced by the UE's CCA
+	collision *obs.Counter // grants lost to over-scheduling collisions
+	fading    *obs.Counter // grants lost to channel fading
+	wastedRB  *obs.Counter // granted RB units with no decoded stream
+}
+
+func newSchedMetrics(name string) *schedMetrics {
+	p := "sched_" + strings.ToLower(name) + "_"
+	return &schedMetrics{
+		subframes: obs.GetCounter(p + "subframes_total"),
+		grants:    obs.GetCounter(p + "grants_total"),
+		success:   obs.GetCounter(p + "success_total"),
+		blocked:   obs.GetCounter(p + "blocked_total"),
+		collision: obs.GetCounter(p + "collision_total"),
+		fading:    obs.GetCounter(p + "fading_total"),
+		wastedRB:  obs.GetCounter(p + "wasted_rb_total"),
+	}
+}
+
+// record classifies one subframe's receive results into the outcome
+// counters. Counts accumulate locally so each counter takes one atomic
+// add per subframe, not one per grant.
+func (m *schedMetrics) record(results []lte.RBResult) {
+	var succ, blk, col, fad, wasted int64
+	for _, res := range results {
+		if len(res.Scheduled) == 0 {
+			continue
+		}
+		if !res.Utilized() {
+			wasted++
+		}
+		for _, o := range res.Outcomes {
+			switch o {
+			case lte.OutcomeSuccess:
+				succ++
+			case lte.OutcomeBlocked:
+				blk++
+			case lte.OutcomeCollision:
+				col++
+			case lte.OutcomeFading:
+				fad++
+			}
+		}
+	}
+	m.success.Add(succ)
+	m.blocked.Add(blk)
+	m.collision.Add(col)
+	m.fading.Add(fad)
+	m.wastedRB.Add(wasted)
 }
 
 // metricDenom is the PF denominator including this subframe's
@@ -127,17 +204,24 @@ func (s *pfState) metricDenom(ue int) float64 {
 }
 
 func (s *pfState) beginSubframe() {
+	s.metrics.subframes.Inc()
 	for i := range s.served {
 		s.served[i] = 0
 	}
 }
 
-func (s *pfState) noteGrant(ue int, bits float64) { s.served[ue] += bits }
+func (s *pfState) noteGrant(ue int, bits float64) {
+	s.metrics.grants.Inc()
+	s.served[ue] += bits
+}
 
 // observe applies the standard PF update
 // R_i ← x_i/α + (1−1/α)·R_i for every client, with x_i the bits
 // actually delivered this subframe.
 func (s *pfState) observe(results []lte.RBResult) {
+	if obs.Enabled() {
+		s.metrics.record(results)
+	}
 	delivered := make([]float64, s.env.NumUE)
 	for _, res := range results {
 		for i, ue := range res.Scheduled {
@@ -184,10 +268,7 @@ func NewPF(env Env) (*PF, error) {
 	if err := env.validate(); err != nil {
 		return nil, err
 	}
-	if env.Alpha <= 1 {
-		env.Alpha = 100
-	}
-	return &PF{st: newPFState(env)}, nil
+	return &PF{st: newPFState(env, "PF")}, nil
 }
 
 // Name implements Scheduler.

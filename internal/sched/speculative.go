@@ -40,11 +40,8 @@ func NewSpeculative(env Env, dist joint.Distribution) (*Speculative, error) {
 	if err := env.validate(); err != nil {
 		return nil, err
 	}
-	if env.Alpha <= 1 {
-		env.Alpha = 100
-	}
 	return &Speculative{
-		st:             newPFState(env),
+		st:             newPFState(env, "BLU"),
 		dist:           dist,
 		OverFactor:     2,
 		CandidateLimit: 12,

@@ -4,7 +4,19 @@ import (
 	"math"
 
 	"blu/internal/lte"
+	"blu/internal/obs"
 	"blu/internal/sched"
+)
+
+// Run-level throughput accounting for the obs layer, recorded once per
+// Run (never inside the subframe loop).
+var (
+	obsRuns         = obs.GetCounter("sim_runs_total")
+	obsSubframes    = obs.GetCounter("sim_subframes_total")
+	obsENBDeferrals = obs.GetCounter("sim_enb_deferrals_total")
+	obsBits         = obs.GetFloatCounter("sim_bits_total")
+	obsThroughput   = obs.GetHistogram("sim_run_throughput_mbps",
+		[]float64{0.5, 1, 2, 4, 8, 16, 32, 64})
 )
 
 // Metrics aggregates one scheduler run the way the paper's figures
@@ -51,8 +63,8 @@ func (m *Metrics) GainOver(base *Metrics) float64 {
 type Observer func(sf int, schedule *lte.Schedule, results []lte.RBResult)
 
 // Run drives scheduler s over subframes [from, to) of the cell and
-// returns the aggregated metrics. obs, if non-nil, sees every subframe.
-func Run(c *Cell, s sched.Scheduler, from, to int, obs Observer) *Metrics {
+// returns the aggregated metrics. tap, if non-nil, sees every subframe.
+func Run(c *Cell, s sched.Scheduler, from, to int, tap Observer) *Metrics {
 	if from < 0 {
 		from = 0
 	}
@@ -71,8 +83,8 @@ func Run(c *Cell, s sched.Scheduler, from, to int, obs Observer) *Metrics {
 		if results == nil {
 			m.ENBDeferrals++
 			s.Observe(sf, nil)
-			if obs != nil {
-				obs(sf, schedule, nil)
+			if tap != nil {
+				tap(sf, schedule, nil)
 			}
 			m.Subframes++
 			continue
@@ -100,8 +112,8 @@ func Run(c *Cell, s sched.Scheduler, from, to int, obs Observer) *Metrics {
 			m.FullyUtilizedSubframes++
 		}
 		s.Observe(sf, results)
-		if obs != nil {
-			obs(sf, schedule, results)
+		if tap != nil {
+			tap(sf, schedule, results)
 		}
 		m.Subframes++
 		executed++
@@ -119,6 +131,13 @@ func Run(c *Cell, s sched.Scheduler, from, to int, obs Observer) *Metrics {
 		m.ThroughputMbps = m.TotalBits / (float64(m.Subframes) * 1000)
 	}
 	m.JainFairness = jain(m.BitsPerUE)
+	if obs.Enabled() && m.Subframes > 0 {
+		obsRuns.Inc()
+		obsSubframes.Add(int64(m.Subframes))
+		obsENBDeferrals.Add(int64(m.ENBDeferrals))
+		obsBits.Add(m.TotalBits)
+		obsThroughput.Observe(m.ThroughputMbps)
+	}
 	return m
 }
 

@@ -9,7 +9,35 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"blu/internal/obs"
 )
+
+// nanSamples counts NaN samples dropped by Percentile and Histogram;
+// a nonzero value in a run manifest flags an upstream numerical bug.
+var nanSamples = obs.GetCounter("stats_nan_samples_total")
+
+// dropNaNs returns xs with NaN samples removed (copying only when at
+// least one NaN is present) and records the dropped count.
+func dropNaNs(xs []float64) []float64 {
+	nan := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			nan++
+		}
+	}
+	if nan == 0 {
+		return xs
+	}
+	nanSamples.Add(int64(nan))
+	out := make([]float64, 0, len(xs)-nan)
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
 
 // ErrEmpty is returned by functions that need at least one sample.
 var ErrEmpty = errors.New("stats: empty sample")
@@ -73,14 +101,17 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) of xs using
-// linear interpolation between closest ranks. It returns an error for an
-// empty sample or p outside [0, 100].
+// linear interpolation between closest ranks. NaN samples are dropped
+// (and counted in the stats_nan_samples_total metric) — a NaN would
+// otherwise poison the sorted-rank interpolation. It returns an error
+// for a sample with no finite values or p outside [0, 100].
 func Percentile(xs []float64, p float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrEmpty
-	}
 	if p < 0 || p > 100 {
 		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	xs = dropNaNs(xs)
+	if len(xs) == 0 {
+		return 0, ErrEmpty
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -193,7 +224,15 @@ func (e *EWMA) Update(x float64) float64 {
 }
 
 // Decay folds a zero sample (an unscheduled subframe) into the average.
-func (e *EWMA) Decay() float64 { return e.Update(0) }
+// Before any real sample it is a no-op: seeding the average with a zero
+// would defeat Update's seed-with-first-sample contract and re-create
+// the 1/R_i blow-up for clients whose first subframes are unscheduled.
+func (e *EWMA) Decay() float64 {
+	if !e.started {
+		return e.value
+	}
+	return e.Update(0)
+}
 
 // Value returns the current average (0 before any update).
 func (e *EWMA) Value() float64 { return e.value }
@@ -225,7 +264,9 @@ func WilsonInterval(k, n int) (lo, hi float64) {
 }
 
 // Histogram counts samples into nbins equal-width bins over [lo, hi].
-// Samples outside the range clamp to the first/last bin.
+// Samples outside the range clamp to the first/last bin; NaN samples
+// are dropped (the int conversion of a NaN is implementation-defined)
+// and counted in the stats_nan_samples_total metric.
 func Histogram(xs []float64, lo, hi float64, nbins int) []int {
 	if nbins <= 0 || hi <= lo {
 		return nil
@@ -233,6 +274,10 @@ func Histogram(xs []float64, lo, hi float64, nbins int) []int {
 	counts := make([]int, nbins)
 	w := (hi - lo) / float64(nbins)
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			nanSamples.Inc()
+			continue
+		}
 		b := int((x - lo) / w)
 		if b < 0 {
 			b = 0

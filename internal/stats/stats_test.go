@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"blu/internal/obs"
 )
 
 func TestMeanVariance(t *testing.T) {
@@ -141,6 +143,29 @@ func TestEWMA(t *testing.T) {
 	}
 }
 
+// TestEWMADecayBeforeFirstSample is the regression test for the PF
+// R_i warm-up bug: a client whose first subframes are unscheduled sees
+// Decay() before any real sample. Decay must not seed the average at 0
+// (which would mark the EWMA started, defeat Update's
+// seed-with-first-sample contract, and blow up a 1/R_i metric).
+func TestEWMADecayBeforeFirstSample(t *testing.T) {
+	e := NewEWMA(10)
+	for i := 0; i < 5; i++ {
+		if got := e.Decay(); got != 0 {
+			t.Fatalf("Decay on fresh EWMA = %v, want 0", got)
+		}
+	}
+	// The first real sample must still seed the average exactly, as if
+	// the idle subframes never happened.
+	if got := e.Update(100); got != 100 {
+		t.Errorf("first update after idle decays = %v, want seed value 100", got)
+	}
+	// And subsequent decays now take effect.
+	if got := e.Decay(); got != 90 {
+		t.Errorf("decay after seeding = %v, want 90", got)
+	}
+}
+
 func TestEWMAAlphaFloor(t *testing.T) {
 	e := NewEWMA(0.1) // clamped to 1: no memory
 	e.Update(3)
@@ -186,5 +211,77 @@ func TestHistogram(t *testing.T) {
 	}
 	if Histogram(xs, 1, 0, 2) != nil || Histogram(xs, 0, 1, 0) != nil {
 		t.Error("invalid configs not rejected")
+	}
+}
+
+func TestHistogramSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		want []int
+	}{
+		{"all NaN", []float64{nan, nan, nan}, []int{0, 0}},
+		{"mixed", []float64{nan, 0.25, nan, 0.75}, []int{1, 1}},
+		{"leading NaN", []float64{nan, 0.1}, []int{1, 0}},
+		{"no NaN", []float64{0.1, 0.9}, []int{1, 1}},
+	}
+	for _, c := range cases {
+		got := Histogram(c.xs, 0, 1, 2)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: bins = %v", c.name, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: histogram = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPercentileSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		xs      []float64
+		p       float64
+		want    float64
+		wantErr bool
+	}{
+		{"median around NaNs", []float64{nan, 1, nan, 3, 2, nan}, 50, 2, false},
+		{"max ignores NaN", []float64{nan, 5}, 100, 5, false},
+		{"all NaN is empty", []float64{nan, nan}, 50, 0, true},
+		{"NaN plus single value", []float64{nan, 7}, 50, 7, false},
+	}
+	for _, c := range cases {
+		got, err := Percentile(c.xs, c.p)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: want error, got %v", c.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.IsNaN(got) || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Percentile = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestNaNSampleCounter checks the dropped-NaN count surfaces through
+// the obs layer when enabled.
+func TestNaNSampleCounter(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	before := nanSamples.Value()
+	Histogram([]float64{math.NaN(), 1, math.NaN()}, 0, 2, 2)
+	if _, err := Percentile([]float64{math.NaN(), 1}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := nanSamples.Value() - before; got != 3 {
+		t.Errorf("stats_nan_samples_total delta = %d, want 3", got)
 	}
 }
