@@ -27,9 +27,12 @@
 package blu
 
 import (
+	"context"
+
 	"blu/internal/access"
 	"blu/internal/blueprint"
 	"blu/internal/core"
+	"blu/internal/faults"
 	"blu/internal/joint"
 	"blu/internal/lte"
 	"blu/internal/netsim"
@@ -68,6 +71,13 @@ func NewMeasurements(n int) *Measurements { return blueprint.NewMeasurements(n) 
 // pair-wise client access distributions (Section 3.4).
 func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
 	return blueprint.Infer(m, opts)
+}
+
+// InferContext is Infer with caller-controlled cancellation: a fired
+// context aborts inference promptly with an error matchable against
+// blueprint.ErrAborted; a background context is exactly Infer.
+func InferContext(ctx context.Context, m *Measurements, opts InferOptions) (*InferResult, error) {
+	return blueprint.InferContext(ctx, m, opts)
 }
 
 // InferenceAccuracy scores an inferred topology against ground truth
@@ -238,4 +248,34 @@ type (
 // NewSystem builds the BLU controller for a cell.
 func NewSystem(cfg SystemConfig, cell *Cell) (*System, error) {
 	return core.NewSystem(cfg, cell)
+}
+
+// Fault injection and graceful degradation (robustness layer,
+// DESIGN.md §10).
+type (
+	// FaultScenario is a declarative, seeded fault plan attachable to a
+	// cell via CellConfig.Faults: hidden-terminal churn, measurement
+	// loss/corruption, bursty interference, and inference stalls.
+	FaultScenario = faults.Scenario
+	// FaultChurnConfig parameterizes hidden-terminal churn.
+	FaultChurnConfig = faults.ChurnConfig
+	// FaultBurstConfig parameterizes bursty interference.
+	FaultBurstConfig = faults.BurstConfig
+	// LadderLevel is the controller's degradation rung for a cycle.
+	LadderLevel = core.LadderLevel
+)
+
+// Degradation-ladder rungs, best first.
+const (
+	LadderSpeculative = core.LadderSpeculative
+	LadderAccessAware = core.LadderAccessAware
+	LadderPF          = core.LadderPF
+)
+
+// FaultScenarios lists the built-in fault scenario names.
+func FaultScenarios() []string { return faults.Names() }
+
+// FaultPreset returns a built-in fault scenario sized for a horizon.
+func FaultPreset(name string, horizon int) (FaultScenario, error) {
+	return faults.Preset(name, horizon)
 }

@@ -42,4 +42,18 @@ go run ./cmd/blumanifest \
   -require sched_blu_grants_total,sched_blu_blocked_total,sched_blu_collision_total,sched_pf_grants_total,core_measurement_phases_total,core_speculative_phases_total \
   "$obsdir/manifest.json"
 
+echo "== chaos smoke =="
+# The fault-injection chaos suite under the race detector (short mode:
+# the sweeps above already ran), then a reduced chaos experiment over
+# the loss and stall scenarios whose manifest must prove the fault
+# injector and the degradation ladder actually fired: observations
+# dropped, inference iterations stalled, the confidence gate tripped,
+# and retries were spent.
+go test -race -short -run 'Chaos|Stall|Ladder|Faulted|Quarantine|Ctx|InferContext|RunContext' \
+  ./internal/faults/ ./internal/core/ ./internal/access/ ./internal/blueprint/ ./internal/mcmc/
+go run ./cmd/blusim -scale 0.05 -metrics "$obsdir/chaos.json" -faults loss,stall chaos >/dev/null
+go run ./cmd/blumanifest \
+  -require faults_observations_dropped_total,faults_stall_iterations_total,core_gate_trips_total,core_infer_retries_total,core_fallback_phases_total \
+  "$obsdir/chaos.json"
+
 echo "ci: all clean"

@@ -15,6 +15,9 @@
 //	-metrics file  enable the obs layer and write a JSON run manifest
 //	               (config, seed, per-experiment timings, metric snapshot)
 //	-pprof addr    serve net/http/pprof on addr (e.g. localhost:6060)
+//	-faults list   comma-separated fault scenarios for the chaos
+//	               experiment (default: all presets; try `blusim
+//	               -faults stall,loss chaos`)
 //
 // Each experiment prints a table whose rows mirror the series the
 // corresponding paper figure plots; EXPERIMENTS.md records the
@@ -45,6 +48,7 @@ func run(args []string) error {
 	par := fs.Int("parallel", 0, "worker goroutines per experiment (0 = all cores, 1 = sequential)")
 	metrics := fs.String("metrics", "", "write a JSON run manifest to this file (enables metric recording)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	faultList := fs.String("faults", "", "comma-separated fault scenarios for the chaos experiment (empty = all presets)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: blusim [flags] <experiment|all|list>")
 		fs.PrintDefaults()
@@ -64,7 +68,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "blusim: pprof on http://%s/debug/pprof/\n", addr)
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *par}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *par, Faults: *faultList}
 	reg := experiments.Registry()
 
 	var man *obs.Manifest
@@ -76,6 +80,7 @@ func run(args []string) error {
 			"scale":    *scale,
 			"seed":     *seed,
 			"parallel": *par,
+			"faults":   *faultList,
 		}
 	}
 

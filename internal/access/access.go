@@ -287,6 +287,51 @@ func (e *Estimator) Measurements() *blueprint.Measurements {
 	return m
 }
 
+// Quarantine drops pair statistics that are inconsistent with their own
+// marginals beyond what sampling noise explains: raw-count estimates
+// must satisfy p(i)·p(j) ≤ p(i,j) ≤ min(p(i), p(j)) (shared hidden
+// terminals only correlate accesses positively), and a pair outside
+// that region by more than tol plus a 1.5/√n_ij noise allowance is
+// poisoned — corrupted observations, or statistics straddling a
+// topology change — and would warp the whole blueprint through the
+// joint constraint system. Quarantined pairs have their pair counts
+// zeroed, so Measurements falls back to the independence estimate and
+// the pair drops below RefreshThreshold, forcing re-measurement.
+// Marginal counts are kept: they are estimated from far more samples
+// and are not implicated by a pair-level inconsistency. Returns the
+// number of pairs quarantined. tol <= 0 selects 0.1.
+//
+// This is deliberately stricter than Measurements' Clamp: Clamp coerces
+// small noise violations into the consistent region (hiding them from
+// inference), while Quarantine treats large violations as evidence the
+// samples themselves are wrong.
+func (e *Estimator) Quarantine(tol float64) int {
+	if tol <= 0 {
+		tol = 0.1
+	}
+	dropped := 0
+	for i := 0; i < e.n; i++ {
+		if e.schedI[i] == 0 {
+			continue
+		}
+		pi := float64(e.accessI[i]) / float64(e.schedI[i])
+		for j := i + 1; j < e.n; j++ {
+			nij := e.schedIJ[i][j]
+			if nij == 0 || e.schedI[j] == 0 {
+				continue
+			}
+			pj := float64(e.accessI[j]) / float64(e.schedI[j])
+			pij := float64(e.accessIJ[i][j]) / float64(nij)
+			allow := tol + 1.5/math.Sqrt(float64(nij))
+			if pij > math.Min(pi, pj)+allow || pij < pi*pj-allow {
+				e.schedIJ[i][j], e.accessIJ[i][j] = 0, 0
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
 // Reset clears all accumulated observations (used when topology
 // dynamics invalidate the stationarity assumption, Section 3.5).
 func (e *Estimator) Reset() {

@@ -1,0 +1,267 @@
+package access
+
+import (
+	"math"
+	"testing"
+
+	"blu/internal/blueprint"
+	"blu/internal/rng"
+)
+
+// obsStream is a reproducible stream of subframe observations used by
+// the property tests: the estimator's counts are pure sums, so the
+// estimates must be invariant to observation order and must degrade
+// gracefully when observations are dropped or duplicated.
+type obsEvent struct {
+	scheduled []int
+	accessed  blueprint.ClientSet
+}
+
+func randomStream(seed uint64, n, steps int) []obsEvent {
+	r := rng.New(seed)
+	events := make([]obsEvent, 0, steps)
+	for s := 0; s < steps; s++ {
+		var scheduled []int
+		for i := 0; i < n; i++ {
+			if r.Bool(0.5) {
+				scheduled = append(scheduled, i)
+			}
+		}
+		var accessed blueprint.ClientSet
+		for _, ue := range scheduled {
+			if r.Bool(0.7) {
+				accessed = accessed.Add(ue)
+			}
+		}
+		events = append(events, obsEvent{scheduled, accessed})
+	}
+	return events
+}
+
+func feed(e *Estimator, events []obsEvent) {
+	for _, ev := range events {
+		e.Record(ev.scheduled, ev.accessed)
+	}
+}
+
+func measurementsEqual(a, b *blueprint.Measurements) bool {
+	if a.N != b.N {
+		return false
+	}
+	for i := 0; i < a.N; i++ {
+		if a.P[i] != b.P[i] {
+			return false
+		}
+		for j := i + 1; j < a.N; j++ {
+			if a.Pair(i, j) != b.Pair(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestEstimatorOrderInvariance: permuting the observation stream must
+// not change a single estimate — out-of-order delivery is invisible.
+func TestEstimatorOrderInvariance(t *testing.T) {
+	const n, steps = 6, 400
+	events := randomStream(21, n, steps)
+	inOrder := NewEstimator(n)
+	feed(inOrder, events)
+
+	shuffled := append([]obsEvent(nil), events...)
+	rng.New(99).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	outOfOrder := NewEstimator(n)
+	feed(outOfOrder, shuffled)
+
+	if !measurementsEqual(inOrder.Measurements(), outOfOrder.Measurements()) {
+		t.Error("estimates depend on observation order")
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if inOrder.Samples(i, j) != outOfOrder.Samples(i, j) {
+				t.Fatalf("Samples(%d,%d) depends on order", i, j)
+			}
+		}
+	}
+}
+
+// TestEstimatorDuplicatesAndDrops: duplicating every observation
+// doubles the sample counts but leaves every estimate identical, and
+// dropping observations (a lossy measurement path) still yields valid,
+// consistent measurements.
+func TestEstimatorDuplicatesAndDrops(t *testing.T) {
+	const n, steps = 5, 300
+	events := randomStream(33, n, steps)
+	once := NewEstimator(n)
+	feed(once, events)
+
+	twice := NewEstimator(n)
+	feed(twice, events)
+	feed(twice, events)
+	if !measurementsEqual(once.Measurements(), twice.Measurements()) {
+		t.Error("duplicated observations changed the estimates")
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if twice.Samples(i, j) != 2*once.Samples(i, j) {
+				t.Fatalf("Samples(%d,%d) = %d, want doubled %d",
+					i, j, twice.Samples(i, j), 2*once.Samples(i, j))
+			}
+		}
+	}
+
+	lossy := NewEstimator(n)
+	r := rng.New(55)
+	for _, ev := range events {
+		if r.Bool(0.6) { // 60% of observations lost
+			continue
+		}
+		lossy.Record(ev.scheduled, ev.accessed)
+	}
+	if err := lossy.Measurements().Validate(1e-6); err != nil {
+		t.Errorf("lossy stream produced invalid measurements: %v", err)
+	}
+}
+
+// TestQuarantineDropsNegativelyCorrelatedPair: strict alternation
+// (exactly one of the pair accesses each subframe) gives p(i,j) = 0
+// with p(i) = p(j) = 0.5 — impossible under shared hidden terminals,
+// which only correlate accesses positively. The pair must be
+// quarantined and fall back to the independence estimate.
+func TestQuarantineDropsNegativelyCorrelatedPair(t *testing.T) {
+	e := NewEstimator(3)
+	for k := 0; k < 400; k++ {
+		accessed := blueprint.NewClientSet(k % 2) // alternate 0, 1
+		e.Record([]int{0, 1}, accessed)
+	}
+	if got := e.Quarantine(0.1); got != 1 {
+		t.Fatalf("Quarantine dropped %d pairs, want 1", got)
+	}
+	if e.Samples(0, 1) != 0 {
+		t.Error("quarantined pair kept its samples")
+	}
+	// Marginals survive: they are estimated from many more samples.
+	if e.Samples(0, 0) != 400 || e.Samples(1, 1) != 400 {
+		t.Error("quarantine clobbered marginal counts")
+	}
+	m := e.Measurements()
+	if want := m.P[0] * m.P[1]; math.Abs(m.Pair(0, 1)-want) > 1e-6 {
+		t.Errorf("quarantined pair estimate %v, want independence %v", m.Pair(0, 1), want)
+	}
+}
+
+// TestQuarantineDropsImpossiblyHighPair: a pair estimate far above both
+// marginals (p(i,j) > min(p(i), p(j))) is likewise poisoned.
+func TestQuarantineDropsImpossiblyHighPair(t *testing.T) {
+	e := NewEstimator(2)
+	// Together: always both access (100 samples, p(0,1) = 1).
+	for k := 0; k < 100; k++ {
+		e.Record([]int{0, 1}, blueprint.NewClientSet(0, 1))
+	}
+	// Alone: almost never access, dragging the marginals to ~0.1.
+	for k := 0; k < 900; k++ {
+		var acc blueprint.ClientSet
+		e.Record([]int{0}, acc)
+		e.Record([]int{1}, acc)
+	}
+	if got := e.Quarantine(0.1); got != 1 {
+		t.Errorf("Quarantine dropped %d pairs, want 1", got)
+	}
+}
+
+// TestQuarantineKeepsConsistentStatistics: a genuinely shared hidden
+// terminal produces positively correlated, consistent counts; no
+// healthy pair may be quarantined.
+func TestQuarantineKeepsConsistentStatistics(t *testing.T) {
+	const n, steps = 4, 2000
+	r := rng.New(77)
+	e := NewEstimator(n)
+	for s := 0; s < steps; s++ {
+		// One terminal shared by {0,1} (active w.p. 0.4), one private to 2.
+		shared := r.Bool(0.4)
+		priv := r.Bool(0.3)
+		accessed := blueprint.NewClientSet()
+		if !shared {
+			accessed = accessed.Add(0).Add(1)
+		}
+		if !priv {
+			accessed = accessed.Add(2)
+		}
+		accessed = accessed.Add(3) // interference-free
+		e.Record([]int{0, 1, 2, 3}, accessed)
+	}
+	if got := e.Quarantine(0.1); got != 0 {
+		t.Errorf("Quarantine dropped %d healthy pairs", got)
+	}
+}
+
+// FuzzEstimatorQuarantine: under arbitrary (including corrupted)
+// observation streams, Quarantine never panics, never invalidates the
+// measurements, and leaves surviving pairs consistent with their own
+// marginals within the declared allowance.
+func FuzzEstimatorQuarantine(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint16(200), false)
+	f.Add(uint64(9), uint8(2), uint16(40), true)
+	f.Add(uint64(42), uint8(7), uint16(500), true)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, stepsRaw uint16, corrupt bool) {
+		n := 2 + int(nRaw%8)
+		steps := int(stepsRaw % 600)
+		r := rng.New(seed)
+		e := NewEstimator(n)
+		for s := 0; s < steps; s++ {
+			var scheduled []int
+			for i := 0; i < n; i++ {
+				if r.Bool(0.5) {
+					scheduled = append(scheduled, i)
+				}
+			}
+			var accessed blueprint.ClientSet
+			for _, ue := range scheduled {
+				p := 0.6
+				if corrupt && r.Bool(0.3) {
+					p = 0.05 // corrupted subframes report near-total blocking
+				}
+				if r.Bool(p) {
+					accessed = accessed.Add(ue)
+				}
+			}
+			e.Record(scheduled, accessed)
+		}
+
+		const tol = 0.1
+		dropped := e.Quarantine(tol)
+		if dropped < 0 || dropped > n*(n-1)/2 {
+			t.Fatalf("Quarantine dropped %d of %d pairs", dropped, n*(n-1)/2)
+		}
+		if err := e.Measurements().Validate(1e-6); err != nil {
+			t.Fatalf("post-quarantine measurements invalid: %v", err)
+		}
+		// Surviving pairs satisfy the consistency bound Quarantine enforces.
+		for i := 0; i < n; i++ {
+			if e.Samples(i, i) == 0 {
+				continue
+			}
+			pi := float64(e.accessI[i]) / float64(e.schedI[i])
+			for j := i + 1; j < n; j++ {
+				nij := e.Samples(i, j)
+				if nij == 0 || e.Samples(j, j) == 0 {
+					continue
+				}
+				pj := float64(e.accessI[j]) / float64(e.schedI[j])
+				pij := float64(e.accessIJ[i][j]) / float64(nij)
+				allow := tol + 1.5/math.Sqrt(float64(nij))
+				if pij > math.Min(pi, pj)+allow+1e-9 || pij < pi*pj-allow-1e-9 {
+					t.Fatalf("surviving pair (%d,%d) violates the bound: pij=%v pi=%v pj=%v allow=%v",
+						i, j, pij, pi, pj, allow)
+				}
+			}
+		}
+		// Quarantine is idempotent: a second pass finds nothing new.
+		if again := e.Quarantine(tol); again != 0 {
+			t.Fatalf("second Quarantine dropped %d more pairs", again)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package blueprint
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// ctxTestMeasurements is a non-trivial instance: overlapping terminals
+// so inference actually works (the trivial probe would otherwise return
+// before any context check matters).
+func ctxTestMeasurements() *Measurements {
+	truth := &Topology{N: 6, HTs: []HiddenTerminal{
+		{Q: 0.4, Clients: NewClientSet(0, 1, 2)},
+		{Q: 0.3, Clients: NewClientSet(2, 3)},
+		{Q: 0.2, Clients: NewClientSet(4, 5)},
+	}}
+	return truth.Measure()
+}
+
+// TestInferContextBackgroundMatchesInfer: InferContext with a
+// background (or live, unfired) context is exactly Infer — the context
+// plumbing must not perturb the deterministic result.
+func TestInferContextBackgroundMatchesInfer(t *testing.T) {
+	m := ctxTestMeasurements()
+	opts := InferOptions{Seed: 11}
+	plain, err := Infer(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := InferContext(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	live, err := InferContext(ctx, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, bg) || !reflect.DeepEqual(plain, live) {
+		t.Errorf("InferContext diverges from Infer:\nplain %+v\nbg    %+v\nlive  %+v", plain, bg, live)
+	}
+}
+
+func TestInferContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := InferContext(ctx, ctxTestMeasurements(), InferOptions{Seed: 1})
+	if res != nil {
+		t.Error("canceled inference returned a result")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("err = %v, want ErrAborted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestInferContextDeadlineAbortsPromptly installs a per-iteration stall
+// (the fault-injection hook) and a short deadline; inference must abort
+// within a small multiple of the deadline rather than running the full
+// iteration budget.
+func TestInferContextDeadlineAbortsPromptly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opts := InferOptions{
+		Seed:          1,
+		Parallelism:   1,
+		IterationHook: func() { time.Sleep(time.Millisecond) },
+	}
+	start := time.Now()
+	res, err := InferContext(ctx, ctxTestMeasurements(), opts)
+	elapsed := time.Since(start)
+	if res != nil || !errors.Is(err, ErrAborted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("res = %v, err = %v; want nil result wrapping ErrAborted and DeadlineExceeded", res, err)
+	}
+	// With the hook installed the context is polled every iteration, so
+	// the overshoot past the deadline is one stalled iteration plus
+	// scheduling noise, far below the multi-second unstalled runtime.
+	if elapsed > 2*time.Second {
+		t.Errorf("abort took %v, not prompt", elapsed)
+	}
+}

@@ -3,6 +3,7 @@ package blueprint
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"blu/internal/obs"
@@ -59,6 +60,12 @@ type InferOptions struct {
 	// topology is byte-identical at every setting — the knob only trades
 	// wall-clock for cores.
 	Parallelism int
+	// IterationHook, when non-nil, is called once per constraint-repair
+	// iteration on whichever goroutine runs the start. It exists for
+	// fault injection (stalls) and fine-grained instrumentation; with a
+	// hook installed the solver also checks the context every iteration
+	// instead of every 64th.
+	IterationHook func()
 }
 
 func (o InferOptions) withDefaults(n int) InferOptions {
@@ -108,8 +115,22 @@ type InferResult struct {
 	Iterations int
 }
 
-// ErrNoClients is returned when measurements cover no clients.
-var ErrNoClients = errors.New("blueprint: measurements cover no clients")
+// Sentinel failures, matchable with errors.Is so callers (notably the
+// controller's degradation ladder) can branch on failure class instead
+// of string-matching.
+var (
+	// ErrNoClients is returned when measurements cover no clients.
+	ErrNoClients = errors.New("blueprint: measurements cover no clients")
+	// ErrTooManyClients is returned when the client count exceeds
+	// MaxClients (the ClientSet word width).
+	ErrTooManyClients = errors.New("blueprint: too many clients for ClientSet")
+	// ErrAborted wraps a context cancellation or deadline expiry that
+	// stopped inference before a result was produced.
+	ErrAborted = errors.New("blueprint: inference aborted")
+	// ErrInconsistent wraps measurement-consistency violations reported
+	// by Measurements.Validate.
+	ErrInconsistent = errors.New("blueprint: inconsistent measurements")
+)
 
 // Infer blue-prints the hidden-terminal interference topology from
 // individual and pair-wise client access probabilities (Section 3.4),
@@ -131,11 +152,21 @@ var ErrNoClients = errors.New("blueprint: measurements cover no clients")
 // then lowest start index), so the result is byte-identical for every
 // Parallelism setting, including fully sequential.
 func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
+	return InferContext(context.Background(), m, opts)
+}
+
+// InferContext is Infer with caller-controlled cancellation: a
+// cancelled or expired ctx aborts the multi-start fan-out promptly and
+// returns an error wrapping both ErrAborted and the context error.
+// InferContext(context.Background(), m, opts) is exactly Infer(m, opts),
+// and for a given (measurements, options) the result is byte-identical
+// whether or not a live (unfired) context is supplied.
+func InferContext(ctx context.Context, m *Measurements, opts InferOptions) (*InferResult, error) {
 	if m == nil || m.N == 0 {
 		return nil, ErrNoClients
 	}
 	if m.N > MaxClients {
-		return nil, errors.New("blueprint: too many clients for ClientSet")
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyClients, m.N, MaxClients)
 	}
 	opts = opts.withDefaults(m.N)
 	target := m.Transform()
@@ -147,7 +178,10 @@ func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
 	// hidden terminals, there is no interference to blueprint and no
 	// reason to fan out the remaining starts.
 	probe := newSolver(target, structured[0], opts)
-	probeIters := probe.run(opts)
+	probeIters := probe.run(ctx, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
+	}
 	if probe.bestTotal <= opts.Tolerance && len(probe.bestHTs) == 0 {
 		return finishInfer(target, probe, opts, 1, probeIters), nil
 	}
@@ -159,24 +193,31 @@ func Infer(m *Measurements, opts InferOptions) (*InferResult, error) {
 	// indexed by task.
 	nTasks := len(structured) + opts.RandomStarts
 	chains := make([]chainResult, nTasks)
-	err := parallel.ForEach(context.Background(), opts.Parallelism, nTasks, func(idx int) error {
+	err := parallel.ForEach(ctx, opts.Parallelism, nTasks, func(idx int) error {
 		pr := root.SplitIndex("perturb", idx)
 		if idx < len(structured) {
 			var initial *solverState
 			if idx == 0 {
 				initial = probe // already repaired; reuse, don't recompute
 			}
-			chains[idx] = runChain(target, opts, initial, structured[idx], opts.Perturbations, pr)
+			chains[idx] = runChain(ctx, target, opts, initial, structured[idx], opts.Perturbations, pr)
 			return nil
 		}
 		start := randomStart(target, opts, root.SplitIndex("start", idx-len(structured)))
 		// Random starts get a single perturbation round, matching the
 		// original escape heuristic for unconverged random repairs.
-		chains[idx] = runChain(target, opts, nil, start, 1, pr)
+		chains[idx] = runChain(ctx, target, opts, nil, start, 1, pr)
 		return nil
 	})
+	if err == nil {
+		// ForEach's inline path can return nil even when ctx fired during
+		// the final task; a fired context means some chains may have been
+		// cut short, so the reduction would not be deterministic — treat
+		// it as an abort, never as a result.
+		err = ctx.Err()
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
 	}
 
 	// Deterministic reduction in task order: betterSolution is a strict
@@ -208,7 +249,7 @@ type chainResult struct {
 // repair around the best state seen, keeping the chain-best solution.
 // initial, when non-nil, is an already-repaired solver reused as the
 // chain head (its iterations are accounted by the caller).
-func runChain(target *Transformed, opts InferOptions, initial *solverState, start startTopo, maxPerturb int, pr *rng.Source) chainResult {
+func runChain(ctx context.Context, target *Transformed, opts InferOptions, initial *solverState, start startTopo, maxPerturb int, pr *rng.Source) chainResult {
 	var cr chainResult
 	consider := func(s *solverState) {
 		cr.starts++
@@ -219,16 +260,16 @@ func runChain(target *Transformed, opts InferOptions, initial *solverState, star
 	s := initial
 	if s == nil {
 		s = newSolver(target, start, opts)
-		cr.iters += s.run(opts)
+		cr.iters += s.run(ctx, opts)
 	}
 	consider(s)
 	cur := s
 	for p := 0; p < maxPerturb; p++ {
-		if cur.bestTotal <= opts.Tolerance {
+		if cur.bestTotal <= opts.Tolerance || ctx.Err() != nil {
 			break
 		}
 		ns := newSolver(target, perturbStart(cur.bestHTs, pr), opts)
-		cr.iters += ns.run(opts)
+		cr.iters += ns.run(ctx, opts)
 		consider(ns)
 		if ns.bestTotal < cur.bestTotal {
 			cur = ns
@@ -541,12 +582,23 @@ func (s *solverState) newHTMove(clients ClientSet, q float64) move {
 }
 
 // run iterates the constraint-repair adaptation until convergence,
-// stall, or the iteration budget; it returns iterations used. The best
-// topology seen (not the final one) is kept.
-func (s *solverState) run(opts InferOptions) int {
+// stall, cancellation, or the iteration budget; it returns iterations
+// used. The best topology seen (not the final one) is kept. The
+// context is polled every 64 iterations (every iteration when an
+// IterationHook is installed, since a hook can make iterations slow),
+// keeping the check off the hot path of healthy runs.
+func (s *solverState) run(ctx context.Context, opts InferOptions) int {
 	stall := 0
 	iters := 0
 	for ; iters < opts.MaxIterations; iters++ {
+		if opts.IterationHook != nil {
+			opts.IterationHook()
+			if ctx.Err() != nil {
+				break
+			}
+		} else if iters&63 == 63 && ctx.Err() != nil {
+			break
+		}
 		set, viol := s.worstConstraint()
 		if viol <= opts.Tolerance {
 			break

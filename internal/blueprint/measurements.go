@@ -101,20 +101,20 @@ func (m *Measurements) NumTriples() int { return len(m.triples) }
 func (m *Measurements) Validate(tol float64) error {
 	for i := 0; i < m.N; i++ {
 		if m.P[i] < 0 || m.P[i] > 1 {
-			return fmt.Errorf("blueprint: p(%d)=%v outside [0,1]", i, m.P[i])
+			return fmt.Errorf("%w: p(%d)=%v outside [0,1]", ErrInconsistent, i, m.P[i])
 		}
 		for j := i + 1; j < m.N; j++ {
 			pij := m.Pair(i, j)
 			if pij < 0 || pij > 1 {
-				return fmt.Errorf("blueprint: p(%d,%d)=%v outside [0,1]", i, j, pij)
+				return fmt.Errorf("%w: p(%d,%d)=%v outside [0,1]", ErrInconsistent, i, j, pij)
 			}
 			if pij > math.Min(m.P[i], m.P[j])+tol {
-				return fmt.Errorf("blueprint: p(%d,%d)=%v exceeds min(p_i,p_j)=%v",
-					i, j, pij, math.Min(m.P[i], m.P[j]))
+				return fmt.Errorf("%w: p(%d,%d)=%v exceeds min(p_i,p_j)=%v",
+					ErrInconsistent, i, j, pij, math.Min(m.P[i], m.P[j]))
 			}
 			if pij < m.P[i]*m.P[j]-tol {
-				return fmt.Errorf("blueprint: p(%d,%d)=%v below independent product %v",
-					i, j, pij, m.P[i]*m.P[j])
+				return fmt.Errorf("%w: p(%d,%d)=%v below independent product %v",
+					ErrInconsistent, i, j, pij, m.P[i]*m.P[j])
 			}
 		}
 	}

@@ -8,12 +8,13 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"blu/internal/access"
 	"blu/internal/blueprint"
+	"blu/internal/faults"
 	"blu/internal/joint"
 	"blu/internal/lte"
 	"blu/internal/obs"
@@ -65,6 +66,35 @@ type Config struct {
 	// to client/terminal mobility breaking stationarity (default 0.25;
 	// set negative to disable).
 	DriftThreshold float64
+
+	// InferTimeout is the per-inference-attempt deadline (default 10s;
+	// negative disables). A cell's fault injector may shrink it while a
+	// stall fault is active.
+	InferTimeout time.Duration
+	// InferRetries is how many times a failed inference is retried with
+	// a halved start/perturbation budget before the cycle degrades
+	// (default 2; negative disables retries).
+	InferRetries int
+	// GateMaxViolation is the confidence gate on the blueprint: a cycle
+	// whose InferResult.MaxViolation exceeds it is not trusted and the
+	// controller steps down the ladder (default 0.6; negative disables).
+	// The default is far above healthy residuals (tolerance-scale,
+	// ~0.02) but below the wreckage a poisoned estimator produces.
+	GateMaxViolation float64
+	// GateMinSamples requires every client pair to carry at least this
+	// many co-scheduling samples before a blueprint built on them is
+	// trusted (default max(1, T/4); negative disables).
+	GateMinSamples int
+	// QuarantineTolerance bounds the per-pair marginal-consistency check
+	// run before each inference: pairs outside the consistent region by
+	// more than this (plus a sample-noise allowance) have their pair
+	// statistics dropped and re-measured (default 0.1; negative
+	// disables).
+	QuarantineTolerance float64
+	// EscalateAfter escalates to a full estimator reset — forcing a
+	// complete re-measurement — after this many consecutive gate trips
+	// (default 3; negative disables escalation).
+	EscalateAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +112,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DriftThreshold == 0 {
 		c.DriftThreshold = 0.25
+	}
+	if c.InferTimeout == 0 {
+		c.InferTimeout = 10 * time.Second
+	}
+	if c.InferRetries == 0 {
+		c.InferRetries = 2
+	}
+	if c.GateMaxViolation == 0 {
+		c.GateMaxViolation = 0.6
+	}
+	if c.GateMinSamples == 0 {
+		c.GateMinSamples = max(1, c.T/4)
+	}
+	if c.QuarantineTolerance == 0 {
+		c.QuarantineTolerance = 0.1
+	}
+	if c.EscalateAfter == 0 {
+		c.EscalateAfter = 3
 	}
 	return c
 }
@@ -110,7 +158,7 @@ type Phase struct {
 	// Metrics is the phase's scheduler metrics (both phases carry data).
 	Metrics *sim.Metrics
 	// Inferred is the blueprint produced at the start of a speculative
-	// phase (nil for measurement phases).
+	// phase (nil for measurement phases and gate-tripped cycles).
 	Inferred *blueprint.Topology
 	// InferenceAccuracy scores Inferred against the ground truth in
 	// force when the phase started.
@@ -120,6 +168,18 @@ type Phase struct {
 	// divergence triggered a re-measurement.
 	Drift         float64
 	DriftDetected bool
+	// Ladder is the degradation level the phase ran at (speculative
+	// phases only; measurement phases record LadderSpeculative).
+	Ladder LadderLevel
+	// GateTripped marks cycles whose blueprint failed the confidence
+	// gate; GateReason classifies why (one of the fixed gate-reason
+	// strings), and InferRetries counts the retry attempts spent.
+	GateTripped  bool
+	GateReason   string
+	InferRetries int
+	// QuarantinedPairs counts pair statistics dropped by the
+	// pre-inference consistency check for this cycle.
+	QuarantinedPairs int
 }
 
 // Report is the outcome of a full controller run.
@@ -142,6 +202,18 @@ type System struct {
 	estimator *access.Estimator
 	spec      *sched.Speculative
 
+	// Degradation-ladder state: the fallback schedulers, whichever rung
+	// is currently scheduling, and how many consecutive cycles tripped
+	// the confidence gate.
+	aa          *sched.AccessAware
+	pf          *sched.PF
+	active      schedulerOnLadder
+	ladder      LadderLevel
+	consecTrips int
+
+	// inj is the cell's fault injector (nil on healthy cells).
+	inj *faults.Injector
+
 	// Per-speculative-phase observation counters for drift detection.
 	recentSched, recentAccess []int
 }
@@ -149,7 +221,7 @@ type System struct {
 // NewSystem builds the controller for a cell.
 func NewSystem(cfg Config, cell *sim.Cell) (*System, error) {
 	if cell == nil {
-		return nil, errors.New("core: cell is required")
+		return nil, ErrCellRequired
 	}
 	cfg = cfg.withDefaults()
 	spec, err := sched.NewSpeculative(cell.Env(), &joint.Independent{P: ones(cell.NumUE())})
@@ -157,11 +229,24 @@ func NewSystem(cfg Config, cell *sim.Cell) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	spec.OverFactor = cfg.OverFactor
+	aa, err := sched.NewAccessAware(cell.Env(), &joint.Independent{P: ones(cell.NumUE())})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pf, err := sched.NewPF(cell.Env())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &System{
 		cfg:          cfg,
 		cell:         cell,
 		estimator:    access.NewEstimator(cell.NumUE()),
 		spec:         spec,
+		aa:           aa,
+		pf:           pf,
+		active:       spec,
+		ladder:       LadderSpeculative,
+		inj:          cell.Faults(),
 		recentSched:  make([]int, cell.NumUE()),
 		recentAccess: make([]int, cell.NumUE()),
 	}, nil
@@ -176,8 +261,20 @@ func ones(n int) []float64 {
 }
 
 // Run alternates measurement and speculative phases over the cell's
-// whole horizon and returns the report.
+// whole horizon and returns the report. It is RunContext with a
+// background context.
 func (s *System) Run() (*Report, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with caller-controlled cancellation: a fired ctx
+// ends the run between cycle steps with an error wrapping ErrCanceled.
+// Inference failures do NOT end the run — each cycle passes its
+// blueprint through a confidence gate and, on failure, steps down the
+// degradation ladder (speculative BLU → access-aware PF → native PF)
+// for that cycle, escalating to a full re-measurement after repeated
+// trips. A recovered cycle climbs straight back to speculative.
+func (s *System) RunContext(ctx context.Context) (*Report, error) {
 	rep := &Report{Speculative: &sim.Metrics{
 		Scheduler: s.spec.Name(),
 		BitsPerUE: make([]float64, s.cell.NumUE()),
@@ -186,6 +283,9 @@ func (s *System) Run() (*Report, error) {
 	sf := 0
 	horizon := s.cell.Subframes()
 	for sf < horizon {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		// Measurement phase, sized by what the estimator still needs. A
 		// phase entered after a blueprint already exists is a refresh:
 		// either RefreshThreshold found under-sampled pairs or a drift
@@ -211,28 +311,50 @@ func (s *System) Run() (*Report, error) {
 			break
 		}
 
-		// Blueprint and reconfigure the speculative scheduler.
+		// Quarantine poisoned pair statistics before they reach
+		// inference: one inconsistent pair warps the whole constraint
+		// system (Section 3.4).
+		quarantined := 0
+		if s.cfg.QuarantineTolerance > 0 {
+			quarantined = s.estimator.Quarantine(s.cfg.QuarantineTolerance)
+			if quarantined > 0 {
+				obsQuarantined.Add(int64(quarantined))
+			}
+		}
+		meas := s.estimator.Measurements()
+
+		// Blueprint behind the confidence gate and pick the ladder rung.
 		inferStart := time.Now()
-		res, err := blueprint.Infer(s.estimator.Measurements(), s.cfg.InferOptions)
+		dec, err := s.decideCycle(ctx, sf, meas)
 		if err != nil {
-			return nil, fmt.Errorf("core: inference: %w", err)
+			return nil, err
 		}
 		obsInferTimer.Record(time.Since(inferStart))
 		obsInferences.Inc()
-		s.spec.SetDistribution(joint.NewCalculator(res.Topology))
-		rep.FinalTopology = res.Topology
-		truth := s.cell.GroundTruthAt(sf)
-		baseline := append([]float64(nil), s.estimator.Measurements().P...)
+		var truth *blueprint.Topology
+		if dec.level == LadderSpeculative {
+			s.spec.SetDistribution(joint.NewCalculator(dec.res.Topology))
+			rep.FinalTopology = dec.res.Topology
+			truth = s.cell.GroundTruthAt(sf)
+		} else if dec.level == LadderAccessAware {
+			// The marginals p(i) are estimated from far more samples than
+			// any pair and survive most corruption; the access-aware rung
+			// uses them under an independence assumption.
+			s.aa.SetDistribution(&joint.Independent{P: append([]float64(nil), meas.P...)})
+		}
+		s.setScheduler(dec.level)
+		baseline := append([]float64(nil), meas.P...)
 
-		// Speculative phase, with drift tracking for §3.5 dynamics.
+		// Scheduling phase at the chosen rung, with drift tracking for
+		// §3.5 dynamics.
 		s.resetRecent()
 		end := sf + s.cfg.L
 		if end > horizon {
 			end = horizon
 		}
 		specStart := time.Now()
-		metrics := sim.Run(s.cell, s.spec, sf, end, func(_ int, schedule *lte.Schedule, results []lte.RBResult) {
-			s.recordObservation(schedule, results)
+		metrics := sim.Run(s.cell, s.active, sf, end, func(osf int, schedule *lte.Schedule, results []lte.RBResult) {
+			s.recordObservation(osf, schedule, results)
 		})
 		obsSpecTimer.Record(time.Since(specStart))
 		obsSpecPhases.Inc()
@@ -246,15 +368,23 @@ func (s *System) Run() (*Report, error) {
 			s.estimator.Reset()
 			obsDriftResets.Inc()
 		}
-		rep.Phases = append(rep.Phases, Phase{
-			Kind:              PhaseSpeculative,
-			Subframes:         metrics.Subframes,
-			Metrics:           metrics,
-			Inferred:          res.Topology,
-			InferenceAccuracy: blueprint.Accuracy(truth, res.Topology),
-			Drift:             drift,
-			DriftDetected:     detected,
-		})
+		ph := Phase{
+			Kind:             PhaseSpeculative,
+			Subframes:        metrics.Subframes,
+			Metrics:          metrics,
+			Drift:            drift,
+			DriftDetected:    detected,
+			Ladder:           dec.level,
+			GateTripped:      dec.tripped,
+			GateReason:       dec.reason,
+			InferRetries:     dec.retries,
+			QuarantinedPairs: quarantined,
+		}
+		if dec.res != nil {
+			ph.Inferred = dec.res.Topology
+			ph.InferenceAccuracy = blueprint.Accuracy(truth, dec.res.Topology)
+		}
+		rep.Phases = append(rep.Phases, ph)
 		rep.SpeculativeSubframes += metrics.Subframes
 		accumulate(rep.Speculative, metrics)
 		sf = end
@@ -319,7 +449,7 @@ func (s *System) measurementPhase(start, horizon int) (int, error) {
 	env := s.cell.Env()
 	plan, err := access.BuildPlan(access.PlanOptions{N: n, K: env.K, T: s.cfg.T})
 	if err != nil {
-		return 0, fmt.Errorf("core: measurement plan: %w", err)
+		return 0, fmt.Errorf("%w: %w", ErrMeasurementInfeasible, err)
 	}
 	used := 0
 	for _, clients := range plan.Subframes {
@@ -329,7 +459,7 @@ func (s *System) measurementPhase(start, horizon int) (int, error) {
 		}
 		schedule := measurementSchedule(clients, env.NumRB)
 		results := s.cell.Step(sf, schedule)
-		s.recordObservation(schedule, results)
+		s.recordObservation(sf, schedule, results)
 		used++
 		// Data still flows during measurement subframes; it is simply
 		// not optimized for utility, so we do not count its metrics in
@@ -354,10 +484,17 @@ func measurementSchedule(clients []int, numRB int) *lte.Schedule {
 // recordObservation feeds one subframe's outcome into the estimator:
 // every distinct scheduled client is an observation, and a client
 // counts as having accessed iff the eNB received its pilot anywhere
-// (any outcome other than blocked, Section 3.3).
-func (s *System) recordObservation(_ *lte.Schedule, results []lte.RBResult) {
+// (any outcome other than blocked, Section 3.3). The fault injector
+// sits between the air and the estimator: a dropped subframe never
+// reaches it, and flipped clients feed the inverted outcome — both the
+// estimator and the drift detector see the corrupted view, exactly as a
+// controller with a broken measurement path would.
+func (s *System) recordObservation(sf int, _ *lte.Schedule, results []lte.RBResult) {
 	if results == nil {
 		return // eNB's own LBT deferred: no client CCA was observed
+	}
+	if s.inj != nil && s.inj.DropObservation(sf) {
+		return
 	}
 	var scheduled []int
 	seen := make(map[int]bool)
@@ -373,13 +510,27 @@ func (s *System) recordObservation(_ *lte.Schedule, results []lte.RBResult) {
 			}
 		}
 	}
-	if len(scheduled) > 0 {
-		s.estimator.Record(scheduled, accessed)
-		for _, ue := range scheduled {
-			s.recentSched[ue]++
-			if accessed.Has(ue) {
-				s.recentAccess[ue]++
+	if len(scheduled) == 0 {
+		return
+	}
+	if s.inj != nil {
+		if flip := s.inj.FlipOutcomes(sf); !flip.Empty() {
+			for _, ue := range scheduled {
+				if flip.Has(ue) {
+					if accessed.Has(ue) {
+						accessed = accessed.Remove(ue)
+					} else {
+						accessed = accessed.Add(ue)
+					}
+				}
 			}
+		}
+	}
+	s.estimator.Record(scheduled, accessed)
+	for _, ue := range scheduled {
+		s.recentSched[ue]++
+		if accessed.Has(ue) {
+			s.recentAccess[ue]++
 		}
 	}
 }
@@ -390,6 +541,10 @@ func (s *System) Estimator() *access.Estimator { return s.estimator }
 
 // Scheduler exposes the speculative scheduler in use.
 func (s *System) Scheduler() *sched.Speculative { return s.spec }
+
+// Ladder returns the degradation level the controller last scheduled
+// at (LadderSpeculative before any cycle completes).
+func (s *System) Ladder() LadderLevel { return s.ladder }
 
 func accumulate(dst, src *sim.Metrics) {
 	w := float64(src.Subframes)

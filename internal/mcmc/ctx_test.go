@@ -1,0 +1,46 @@
+package mcmc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"blu/internal/blueprint"
+)
+
+func ctxTestMeasurements() *blueprint.Measurements {
+	truth := &blueprint.Topology{N: 5, HTs: []blueprint.HiddenTerminal{
+		{Q: 0.4, Clients: blueprint.NewClientSet(0, 1)},
+		{Q: 0.3, Clients: blueprint.NewClientSet(2, 3)},
+	}}
+	return truth.Measure()
+}
+
+func TestInferContextBackgroundMatchesInfer(t *testing.T) {
+	m := ctxTestMeasurements()
+	opts := Options{Seed: 7, Iterations: 4000}
+	plain, err := Infer(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := InferContext(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, bg) {
+		t.Errorf("InferContext diverges from Infer:\nplain %+v\nbg    %+v", plain, bg)
+	}
+}
+
+func TestInferContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := InferContext(ctx, ctxTestMeasurements(), Options{Seed: 1, Iterations: 100000})
+	if res != nil {
+		t.Error("canceled inference returned a result")
+	}
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrAborted wrapping context.Canceled", err)
+	}
+}

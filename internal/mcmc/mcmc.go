@@ -15,12 +15,22 @@ package mcmc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"blu/internal/blueprint"
 	"blu/internal/obs"
 	"blu/internal/parallel"
 	"blu/internal/rng"
+)
+
+// Sentinel failures, matchable with errors.Is.
+var (
+	// ErrNoClients is returned when measurements cover no clients.
+	ErrNoClients = errors.New("mcmc: measurements cover no clients")
+	// ErrAborted wraps a context cancellation or deadline expiry that
+	// stopped sampling before a result was produced.
+	ErrAborted = errors.New("mcmc: inference aborted")
 )
 
 // Sampler telemetry for the obs layer: chain volume, acceptance, and
@@ -140,8 +150,17 @@ func (s *state) topology() *blueprint.Topology {
 // wins, ties toward the lower chain index), so the returned result is
 // identical for every Parallelism setting.
 func Infer(m *blueprint.Measurements, opts Options) (*Result, error) {
+	return InferContext(context.Background(), m, opts)
+}
+
+// InferContext is Infer with caller-controlled cancellation: a
+// cancelled or expired ctx aborts the chains promptly (each chain polls
+// the context every 128 iterations) and returns an error wrapping both
+// ErrAborted and the context error. With a background context it is
+// exactly Infer.
+func InferContext(ctx context.Context, m *blueprint.Measurements, opts Options) (*Result, error) {
 	if m == nil || m.N == 0 {
-		return nil, errors.New("mcmc: measurements cover no clients")
+		return nil, ErrNoClients
 	}
 	opts = opts.withDefaults(m.N)
 	target := m.Transform()
@@ -158,12 +177,18 @@ func Infer(m *blueprint.Measurements, opts Options) (*Result, error) {
 	}
 
 	outs := make([]chainOut, opts.Chains)
-	err := parallel.ForEach(context.Background(), opts.Parallelism, opts.Chains, func(c int) error {
-		outs[c] = runChain(target, m.N, opts, streams[c])
+	err := parallel.ForEach(ctx, opts.Parallelism, opts.Chains, func(c int) error {
+		outs[c] = runChain(ctx, target, m.N, opts, streams[c])
 		return nil
 	})
+	if err == nil {
+		// ForEach's inline path can return nil even when ctx fired during
+		// the final chain; a fired context may have cut chains short, so
+		// the MAP reduction would not be deterministic — abort instead.
+		err = ctx.Err()
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
 	}
 
 	res := &Result{Chains: opts.Chains}
@@ -200,14 +225,18 @@ type chainOut struct {
 }
 
 // runChain runs one Metropolis–Hastings chain from the empty topology
-// and returns its MAP sample.
-func runChain(target *blueprint.Transformed, n int, opts Options, r *rng.Source) chainOut {
+// and returns its MAP sample. A fired context ends the chain early;
+// the caller discards the partial result.
+func runChain(ctx context.Context, target *blueprint.Transformed, n int, opts Options, r *rng.Source) chainOut {
 	cur := &state{n: n}
 	curViol, _ := blueprint.Residual(target, cur.topology())
 	curScore := -opts.Beta*curViol - opts.HTPenalty*float64(len(cur.hts))
 
 	out := chainOut{best: cur.clone(), viol: curViol, score: curScore}
 	for it := 0; it < opts.Iterations; it++ {
+		if it&127 == 127 && ctx.Err() != nil {
+			break
+		}
 		prop, ok := propose(cur, target, opts, r)
 		if !ok {
 			continue

@@ -37,6 +37,11 @@ func (a *AccessAware) Observe(_ int, results []lte.RBResult) { a.st.observe(resu
 // measurement phase).
 func (a *AccessAware) SetDistribution(dist joint.Distribution) { a.dist = dist }
 
+// WarmStart seeds R_i from another scheduler's averages (avg[i] from
+// AvgThroughput(i)); non-positive entries are ignored. Used when the
+// degradation ladder switches schedulers mid-run.
+func (a *AccessAware) WarmStart(avg []float64) { a.st.warmStart(avg) }
+
 // Schedule implements Scheduler: per RB unit, greedily grow a group of
 // up to M clients maximizing Σ p(i)·r_{i,b,|G|}/R_i (Eqn 5).
 func (a *AccessAware) Schedule(_ int) *lte.Schedule {

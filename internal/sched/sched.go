@@ -196,6 +196,17 @@ func (m *schedMetrics) record(results []lte.RBResult) {
 	m.wastedRB.Add(wasted)
 }
 
+// warmStart seeds the PF averages from another scheduler's R_i so a
+// mid-run scheduler switch keeps the fairness state instead of
+// rediscovering it from the 1-bit singularity guard.
+func (s *pfState) warmStart(avg []float64) {
+	for i := range s.r {
+		if i < len(avg) && avg[i] > 0 {
+			s.r[i] = avg[i]
+		}
+	}
+}
+
 // metricDenom is the PF denominator including this subframe's
 // provisional grants, so one strong client does not absorb every RB of
 // the subframe.
@@ -279,6 +290,11 @@ func (p *PF) AvgThroughput(i int) float64 { return p.st.r[i] }
 
 // Observe implements Scheduler.
 func (p *PF) Observe(_ int, results []lte.RBResult) { p.st.observe(results) }
+
+// WarmStart seeds R_i from another scheduler's averages (avg[i] from
+// AvgThroughput(i)); non-positive entries are ignored. Used when the
+// degradation ladder switches schedulers mid-run.
+func (p *PF) WarmStart(avg []float64) { p.st.warmStart(avg) }
 
 // Schedule implements Scheduler: per RB unit, greedily grow a group of
 // up to M clients maximizing Σ r_{i,b,|G|}/R_i.

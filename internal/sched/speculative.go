@@ -66,6 +66,11 @@ func (s *Speculative) SetDistribution(dist joint.Distribution) {
 	s.groups = newGroupDistCache(dist)
 }
 
+// WarmStart seeds R_i from another scheduler's averages (avg[i] from
+// AvgThroughput(i)); non-positive entries are ignored. Used when the
+// degradation ladder switches schedulers mid-run.
+func (s *Speculative) WarmStart(avg []float64) { s.st.warmStart(avg) }
+
 // maxGroup returns the over-scheduling cap f·M (at least M).
 func (s *Speculative) maxGroup() int {
 	f := s.OverFactor

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"blu/internal/blueprint"
+	"blu/internal/faults"
 	"blu/internal/geom"
 	"blu/internal/joint"
 	"blu/internal/lte"
@@ -65,6 +66,14 @@ type Config struct {
 	// one position. Use GroundTruthAt to score inference against the
 	// topology in force at a given time.
 	MobilityAt int
+	// Faults, when non-nil, injects the scenario's fault timeline into
+	// the cell: its churn/burst terminals add to the per-subframe
+	// blocked sets (invisible to the ground-truth blueprint, like real
+	// unmodeled interferers), and the controller reads the same injector
+	// via Faults() for observation loss/corruption and inference
+	// stalls. The injector seeds purely from the scenario, so (Config,
+	// Scenario) fully determine the faulted timeline.
+	Faults *faults.Scenario
 	// Seed drives every random draw of the run.
 	Seed uint64
 }
@@ -125,6 +134,10 @@ type Cell struct {
 	truth      *blueprint.Topology
 	truthAfter *blueprint.Topology
 	bitsPerRBG float64 // data REs per RB group (bits = REs × efficiency)
+
+	// inj is the instantiated fault timeline (nil when no faults are
+	// configured).
+	inj *faults.Injector
 }
 
 // New builds the cell: it simulates the WiFi activity over the whole
@@ -152,6 +165,10 @@ func New(cfg Config) (*Cell, error) {
 	root := rng.New(cfg.Seed)
 	c.buildChannel(root.Split("channel"))
 	c.buildActivity(root.Split("wifi"))
+	if err := c.attachFaults(cfg.Faults); err != nil {
+		return nil, err
+	}
+	c.computeMasks()
 	c.truth = c.scenario.GroundTruth(c.airtime)
 	if c.edgesAfter != nil {
 		c.truthAfter = traceGroundTruth(c.numUE, c.edgesAfter, c.hidden, c.airtime)
@@ -241,7 +258,21 @@ func (c *Cell) buildActivity(r *rng.Source) {
 	if cfg.MobilityAt > 0 && cfg.MobilityAt < cfg.Subframes {
 		c.edgesAfter = rotateEdges(c.edges, c.numUE)
 	}
-	c.computeMasks()
+}
+
+// attachFaults instantiates the fault scenario's timeline for this
+// cell. It must run before computeMasks so injected interference lands
+// in the access masks.
+func (c *Cell) attachFaults(sc *faults.Scenario) error {
+	if sc == nil {
+		return nil
+	}
+	inj, err := faults.New(*sc, c.numUE, c.cfg.Subframes)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	c.inj = inj
+	return nil
 }
 
 // rotateEdges models a topology change: each terminal now silences the
@@ -298,6 +329,14 @@ func (c *Cell) computeMasks() {
 				interfered = interfered.Union(edges[k])
 			}
 		}
+		if c.inj != nil {
+			// Injected interferers are hidden terminals by construction:
+			// they block their victims' CCA and expose them to downlink
+			// collisions, but the eNB never hears them.
+			extra := c.inj.ExtraBlocked(sf)
+			blocked = blocked.Union(extra)
+			interfered = interfered.Union(extra)
+		}
 		c.access[sf] = full.Minus(blocked)
 		c.dlInterfered[sf] = interfered
 		c.enbClear[sf] = clear
@@ -349,6 +388,12 @@ func (c *Cell) contentionDomains() [][]int {
 
 // NumUE returns the number of clients in the cell.
 func (c *Cell) NumUE() int { return c.numUE }
+
+// Faults returns the cell's instantiated fault injector, or nil when no
+// fault scenario is configured. The controller uses it for observation
+// loss/corruption and inference-stall faults; the cell itself already
+// folded the injected interference into its access masks.
+func (c *Cell) Faults() *faults.Injector { return c.inj }
 
 // Subframes returns the simulated horizon length.
 func (c *Cell) Subframes() int { return c.cfg.Subframes }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"blu/internal/blueprint"
+	"blu/internal/faults"
 	"blu/internal/phy"
 	"blu/internal/trace"
 	"blu/internal/wifi"
@@ -52,6 +53,10 @@ type ReplayConfig struct {
 	M, K, RBGs, BurstSubframes int
 	// Subframes optionally truncates the replay (0 = whole trace).
 	Subframes int
+	// Faults optionally injects a fault scenario into the replay, as in
+	// Config.Faults. The injector seeds purely from the scenario, so the
+	// same scenario perturbs a recorded trace identically everywhere.
+	Faults *faults.Scenario
 }
 
 // NewFromTrace builds a cell that replays a recorded (or combined)
@@ -115,6 +120,9 @@ func NewFromTrace(tr *trace.Trace, rc ReplayConfig) (*Cell, error) {
 		c.edges = append(c.edges, it.Edges)
 		c.hidden = append(c.hidden, it.HiddenFromENB)
 		c.airtime = append(c.airtime, act.Airtime())
+	}
+	if err := c.attachFaults(rc.Faults); err != nil {
+		return nil, err
 	}
 	c.computeMasks()
 	c.truth = traceGroundTruth(tr.NumUE, c.edges, c.hidden, c.airtime)
