@@ -164,6 +164,53 @@ func BenchmarkSpeculativeSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedule measures one full subframe scheduling decision for
+// each of the paper's three schedulers on the same Fig-15 working-point
+// cell, mirroring the scheduler section cmd/blubench writes into the
+// BENCH JSON. With -benchmem it exposes the steady-state allocation
+// profile of the kernels (scratch reuse, flat caches, per-call arena).
+func BenchmarkSchedule(b *testing.B) {
+	const subframes = 100
+	cell, err := blu.NewCell(blu.CellConfig{
+		Scenario:  blu.NewTestbedScenario(16, 24, 5),
+		M:         2,
+		Subframes: subframes,
+		Seed:      9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := cell.Env()
+	calc := blu.NewCalculator(cell.GroundTruth())
+	pf, err := blu.NewPF(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aa, err := blu.NewAccessAware(env, calc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := blu.NewSpeculative(env, calc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range []struct {
+		name string
+		s    blu.Scheduler
+	}{
+		{"PF", pf},
+		{"AA", aa},
+		{"BLU", spec},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = sc.s.Schedule(i % subframes)
+			}
+		})
+	}
+}
+
 // BenchmarkMeasurementPlan measures Algorithm 1 planning for the
 // paper's N=20, K=8, T=50 anchor case.
 func BenchmarkMeasurementPlan(b *testing.B) {

@@ -42,6 +42,20 @@ go run ./cmd/blumanifest \
   -require sched_blu_grants_total,sched_blu_blocked_total,sched_blu_collision_total,sched_pf_grants_total,core_measurement_phases_total,core_speculative_phases_total \
   "$obsdir/manifest.json"
 
+echo "== kernel smoke =="
+# The scheduler hot path must stay allocation-free in steady state and
+# byte-identical across cache bounds: re-run the AllocsPerRun ceilings
+# and the golden/cache-invariance trace tests, then a short blubench
+# scheduler run whose BENCH JSON must pass blumanifest's schema check
+# (parse, invariants, round-trip) with all three scheduler entries and
+# nonzero cache-hit counters present.
+go test $short -run 'TestScheduleSteadyStateAllocs|TestScheduleTraceGolden|TestScheduleTraceCacheBoundInvariance' ./internal/sched/
+go run ./cmd/blubench -sched -o "$obsdir/bench_sched.json" >/dev/null
+go run ./cmd/blumanifest -bench \
+  -require-entry Schedule/PF,Schedule/AA,Schedule/BLU \
+  -require sched_blu_cache_hit_total,sched_joint_cache_hit_total,sched_blu_scratch_reuse_total \
+  "$obsdir/bench_sched.json"
+
 echo "== chaos smoke =="
 # The fault-injection chaos suite under the race detector (short mode:
 # the sweeps above already ran), then a reduced chaos experiment over

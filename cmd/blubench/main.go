@@ -1,21 +1,25 @@
 // Command blubench records the repo's performance baseline: it runs
 // the core inference micro-benchmarks (deterministic multi-start
-// inference and the MCMC baseline) across parallelism settings via
-// testing.Benchmark and writes the ns/op table, together with the
-// parallel-vs-sequential speedups, to a JSON file.
+// inference and the MCMC baseline) across parallelism settings plus
+// the per-subframe scheduler kernels via testing.Benchmark and writes
+// the ns/op table, together with the parallel-vs-sequential speedups,
+// to a JSON file in the obs.BenchReport schema.
 //
 // Usage:
 //
-//	blubench [-o BENCH_baseline.json] [-metrics file] [-pprof addr]
+//	blubench [-o BENCH_baseline.json] [-sched] [-metrics file] [-pprof addr]
 //
-// The determinism test suite guarantees every parallelism setting
-// returns the identical topology, so each speedup line is a pure
-// wall-clock comparison of the same computation.
+// With -sched only the scheduler section runs — a seconds-scale subset
+// CI uses as its kernel-smoke gate (the full inference sweep takes
+// minutes). The determinism test suite guarantees every parallelism
+// setting returns the identical topology, so each speedup line is a
+// pure wall-clock comparison of the same computation.
 //
 // The obs layer is enabled for the run, so the written baseline embeds
-// the metric snapshot (inference starts/iterations, MCMC acceptance)
-// alongside the timings — the BENCH file records what work the numbers
-// measured, not just how long it took.
+// the metric snapshot (inference starts/iterations, MCMC acceptance,
+// scheduler cache hit/miss/reset counts) alongside the timings — the
+// BENCH file records what work the numbers measured, not just how long
+// it took.
 package main
 
 import (
@@ -27,39 +31,12 @@ import (
 	"sort"
 	"testing"
 
+	"blu"
 	"blu/internal/blueprint"
 	"blu/internal/mcmc"
 	"blu/internal/obs"
 	"blu/internal/rng"
 )
-
-// Entry is one recorded benchmark line.
-type Entry struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	MsPerOp     float64 `json:"ms_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// Baseline is the file layout of BENCH_baseline.json.
-type Baseline struct {
-	GoVersion   string `json:"go_version"`
-	GitDescribe string `json:"git_describe,omitempty"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	// Note flags environments in which the speedup column cannot mean
-	// anything (a single-CPU machine timeslices the workers instead of
-	// running them concurrently).
-	Note    string  `json:"note,omitempty"`
-	Entries []Entry `json:"entries"`
-	// Speedups maps "<bench>/P=<p>_vs_P=1" to sequential-ns/parallel-ns.
-	Speedups map[string]float64 `json:"speedups"`
-	// Metrics is the obs snapshot accumulated over the benchmark run,
-	// describing the work behind the timings (inference starts and
-	// repair iterations, MCMC chains and acceptance counts).
-	Metrics obs.Snapshot `json:"metrics,omitempty"`
-}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -71,6 +48,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("blubench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_baseline.json", "output file")
+	schedOnly := fs.Bool("sched", false, "run only the scheduler-kernel section (fast; CI smoke)")
 	metrics := fs.String("metrics", "", "also write a JSON run manifest to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -91,10 +69,10 @@ func run(args []string) error {
 	var man *obs.Manifest
 	if *metrics != "" {
 		man = obs.NewManifest("blubench", args)
-		man.Config = map[string]any{"out": *out}
+		man.Config = map[string]any{"out": *out, "sched": *schedOnly}
 	}
 
-	base := &Baseline{
+	base := &obs.BenchReport{
 		GoVersion:   runtime.Version(),
 		GitDescribe: obs.GitDescribe(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -107,7 +85,7 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "blubench: GOMAXPROCS=1 —", base.Note)
 	}
 
-	record := func(name string, fn func(i int) error) Entry {
+	record := func(name string, fn func(i int) error) obs.BenchEntry {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -116,7 +94,7 @@ func run(args []string) error {
 				}
 			}
 		})
-		e := Entry{
+		e := obs.BenchEntry{
 			Name:        name,
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
@@ -125,53 +103,62 @@ func run(args []string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 		}
 		base.Entries = append(base.Entries, e)
-		fmt.Printf("%-28s %12d ns/op  %9.2f ms/op  (%d iters)\n",
-			name, e.NsPerOp, e.MsPerOp, e.Iterations)
+		fmt.Printf("%-28s %12d ns/op  %9.2f ms/op  %6d allocs/op  (%d iters)\n",
+			name, e.NsPerOp, e.MsPerOp, e.AllocsPerOp, e.Iterations)
 		return e
 	}
 
-	// Deterministic multi-start inference across parallelism settings.
-	// P=1 is the sequential baseline; P=0 uses every core.
-	for _, n := range []int{8, 16, 24} {
-		truth := randomTopo(n, n+n/2, 7)
-		meas := truth.Measure()
-		perSetting := map[int]int64{}
-		for _, par := range []int{1, 2, 4, 0} {
-			par := par
-			e := record(inferLabel(n, par), func(i int) error {
-				_, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(i), Parallelism: par})
-				return err
-			})
-			perSetting[par] = e.NsPerOp
+	if !*schedOnly {
+		// Deterministic multi-start inference across parallelism settings.
+		// P=1 is the sequential baseline; P=0 uses every core.
+		for _, n := range []int{8, 16, 24} {
+			truth := randomTopo(n, n+n/2, 7)
+			meas := truth.Measure()
+			perSetting := map[int]int64{}
+			for _, par := range []int{1, 2, 4, 0} {
+				par := par
+				e := record(inferLabel(n, par), func(i int) error {
+					_, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: uint64(i), Parallelism: par})
+					return err
+				})
+				perSetting[par] = e.NsPerOp
+			}
+			for _, par := range []int{2, 4, 0} {
+				if perSetting[par] > 0 {
+					base.Speedups[inferLabel(n, par)+"_vs_P=1"] =
+						float64(perSetting[1]) / float64(perSetting[par])
+				}
+			}
 		}
-		for _, par := range []int{2, 4, 0} {
-			if perSetting[par] > 0 {
-				base.Speedups[inferLabel(n, par)+"_vs_P=1"] =
-					float64(perSetting[1]) / float64(perSetting[par])
+
+		// MCMC baseline: 4 chains sequential vs parallel.
+		{
+			truth := randomTopo(12, 18, 7)
+			meas := truth.Measure()
+			perSetting := map[int]int64{}
+			for _, par := range []int{1, 4} {
+				par := par
+				e := record(fmt.Sprintf("MCMC/N=12/Chains=4/P=%d", par), func(i int) error {
+					_, err := mcmc.Infer(meas, mcmc.Options{Seed: uint64(i), Chains: 4, Parallelism: par})
+					return err
+				})
+				perSetting[par] = e.NsPerOp
+			}
+			if perSetting[4] > 0 {
+				base.Speedups["MCMC/N=12/Chains=4/P=4_vs_P=1"] =
+					float64(perSetting[1]) / float64(perSetting[4])
 			}
 		}
 	}
 
-	// MCMC baseline: 4 chains sequential vs parallel.
-	{
-		truth := randomTopo(12, 18, 7)
-		meas := truth.Measure()
-		perSetting := map[int]int64{}
-		for _, par := range []int{1, 4} {
-			par := par
-			e := record(fmt.Sprintf("MCMC/N=12/Chains=4/P=%d", par), func(i int) error {
-				_, err := mcmc.Infer(meas, mcmc.Options{Seed: uint64(i), Chains: 4, Parallelism: par})
-				return err
-			})
-			perSetting[par] = e.NsPerOp
-		}
-		if perSetting[4] > 0 {
-			base.Speedups["MCMC/N=12/Chains=4/P=4_vs_P=1"] =
-				float64(perSetting[1]) / float64(perSetting[4])
-		}
+	if err := recordSchedulers(record); err != nil {
+		return err
 	}
 
 	base.Metrics = obs.Snap()
+	if err := base.Validate(); err != nil {
+		return fmt.Errorf("self-check: %w", err)
+	}
 	data, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err
@@ -179,14 +166,16 @@ func run(args []string) error {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("\nspeedups:\n")
-	keys := make([]string, 0, len(base.Speedups))
-	for k := range base.Speedups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-32s %.2fx\n", k, base.Speedups[k])
+	if len(base.Speedups) > 0 {
+		fmt.Printf("\nspeedups:\n")
+		keys := make([]string, 0, len(base.Speedups))
+		for k := range base.Speedups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-32s %.2fx\n", k, base.Speedups[k])
+		}
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if man != nil {
@@ -194,6 +183,56 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "blubench: wrote manifest %s\n", *metrics)
+	}
+	return nil
+}
+
+// recordSchedulers benchmarks one full subframe scheduling decision for
+// each of the paper's three schedulers on the same Fig-15 working-point
+// cell (16 UEs, 24 hidden terminals, M=2), exercising the steady-state
+// allocation-free kernels: scratch reuse, the flat group-distribution
+// cache, and the joint-calculator memo.
+func recordSchedulers(record func(string, func(int) error) obs.BenchEntry) error {
+	const subframes = 100
+	cell, err := blu.NewCell(blu.CellConfig{
+		Scenario:  blu.NewTestbedScenario(16, 24, 5),
+		M:         2,
+		Subframes: subframes,
+		Seed:      9,
+	})
+	if err != nil {
+		return err
+	}
+	env := cell.Env()
+	calc := blu.NewCalculator(cell.GroundTruth())
+
+	pf, err := blu.NewPF(env)
+	if err != nil {
+		return err
+	}
+	aa, err := blu.NewAccessAware(env, calc)
+	if err != nil {
+		return err
+	}
+	spec, err := blu.NewSpeculative(env, calc)
+	if err != nil {
+		return err
+	}
+	for _, sc := range []struct {
+		name string
+		s    blu.Scheduler
+	}{
+		{"Schedule/PF", pf},
+		{"Schedule/AA", aa},
+		{"Schedule/BLU", spec},
+	} {
+		sc := sc
+		record(sc.name, func(i int) error {
+			if sch := sc.s.Schedule(i % subframes); len(sch.RB) == 0 {
+				return fmt.Errorf("%s: empty schedule", sc.name)
+			}
+			return nil
+		})
 	}
 	return nil
 }

@@ -1,13 +1,15 @@
-// Command blumanifest validates a JSON run manifest written by
-// blusim/blutopo/blubench via their -metrics flag. CI uses it to gate
-// on manifest integrity: the file must parse, survive a marshal →
-// parse round-trip unchanged, pass the obs.Manifest invariants, and —
-// when -require is given — carry nonzero values for the named
-// counters.
+// Command blumanifest validates the JSON artifacts the tooling writes:
+// run manifests from blusim/blutopo/blubench (-metrics) and BENCH
+// reports from blubench (-o). CI uses it to gate on artifact
+// integrity: the file must parse, survive a marshal → parse round-trip
+// unchanged, pass the obs invariants, and — when -require /
+// -require-entry is given — carry the named counters or benchmark
+// entries.
 //
 // Usage:
 //
 //	blumanifest [-require counter,counter,...] manifest.json
+//	blumanifest -bench [-require-entry name,name,...] bench.json
 //
 // Exit status is nonzero on any failure, with the reason on stderr.
 package main
@@ -33,11 +35,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("blumanifest", flag.ContinueOnError)
 	require := fs.String("require", "", "comma-separated counters that must be present and nonzero")
+	bench := fs.Bool("bench", false, "validate an obs.BenchReport instead of a run manifest")
+	requireEntry := fs.String("require-entry", "", "comma-separated bench entries that must be present (implies -bench)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: blumanifest [-require a,b,c] <manifest.json>")
+		return fmt.Errorf("usage: blumanifest [-bench] [-require a,b,c] [-require-entry a,b,c] <file.json>")
 	}
 	path := fs.Arg(0)
 
@@ -45,6 +49,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *bench || *requireEntry != "" {
+		return checkBench(path, data, splitList(*requireEntry), splitList(*require))
+	}
+	return checkManifest(path, data, splitList(*require))
+}
+
+func checkManifest(path string, data []byte, required []string) error {
 	var man obs.Manifest
 	if err := json.Unmarshal(data, &man); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
@@ -68,12 +79,56 @@ func run(args []string) error {
 		return fmt.Errorf("%s: manifest does not survive a JSON round-trip", path)
 	}
 
-	for _, name := range strings.Split(*require, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	if err := requireCounters(path, man.Metrics.Counters, required); err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: ok (tool=%s phases=%d counters=%d)\n",
+		path, man.Tool, len(man.Phases), len(man.Metrics.Counters))
+	return nil
+}
+
+// checkBench validates a blubench BENCH report the same way: parse,
+// invariants, round-trip, then presence of the required entries (and,
+// optionally, required nonzero counters in the embedded snapshot).
+func checkBench(path string, data []byte, entries, counters []string) error {
+	var rep obs.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	again, err := json.Marshal(&rep)
+	if err != nil {
+		return err
+	}
+	var rep2 obs.BenchReport
+	if err := json.Unmarshal(again, &rep2); err != nil {
+		return fmt.Errorf("%s: re-parse: %w", path, err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		return fmt.Errorf("%s: bench report does not survive a JSON round-trip", path)
+	}
+
+	for _, name := range entries {
+		if rep.Entry(name) == nil {
+			return fmt.Errorf("%s: required bench entry %q missing", path, name)
 		}
-		v, ok := man.Metrics.Counters[name]
+	}
+	if err := requireCounters(path, rep.Metrics.Counters, counters); err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: ok (bench entries=%d speedups=%d counters=%d)\n",
+		path, len(rep.Entries), len(rep.Speedups), len(rep.Metrics.Counters))
+	return nil
+}
+
+func requireCounters(path string, got map[string]int64, required []string) error {
+	for _, name := range required {
+		v, ok := got[name]
 		if !ok {
 			return fmt.Errorf("%s: required counter %q missing from snapshot", path, name)
 		}
@@ -81,8 +136,15 @@ func run(args []string) error {
 			return fmt.Errorf("%s: required counter %q is zero", path, name)
 		}
 	}
-
-	fmt.Printf("%s: ok (tool=%s phases=%d counters=%d)\n",
-		path, man.Tool, len(man.Phases), len(man.Metrics.Counters))
 	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

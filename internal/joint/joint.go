@@ -19,7 +19,10 @@
 package joint
 
 import (
+	mathbits "math/bits"
+
 	"blu/internal/blueprint"
+	"blu/internal/obs"
 )
 
 // Distribution yields joint access probabilities for client groups.
@@ -32,23 +35,113 @@ type Distribution interface {
 	Marginal(i int) float64
 }
 
+// defaultMemoEntries bounds the Calculator memo unless SetMemoLimit
+// overrides it.
+const defaultMemoEntries = 1 << 15
+
 // Calculator computes joint access distributions from a blueprint
 // topology by recursive conditioning (Section 3.6): conditioning on a
 // client having transmitted removes every hidden terminal adjacent to
 // it (they must have been silent), and the recursion bottoms out at
 // individual access probabilities on conditioned topologies.
+//
+// The Eqn-9 recursion is memoized in a flat open-addressed table keyed
+// by the (cond, blocked) set pair (power-of-two capacity, linear
+// probing) with a hard entry bound; hitting the bound resets the whole
+// table. Entries are pure functions of the fixed topology, so a reset
+// only costs recomputation — results are bit-identical at any bound.
 type Calculator struct {
-	topo *blueprint.Topology
-	memo map[[2]blueprint.ClientSet]float64
+	topo  *blueprint.Topology
+	max   int // entry bound; <= half the slot count
+	mask  uint64
+	slots []calcSlot
+	count int
+
+	// Local tallies flushed to the obs counters per Prob call.
+	hits, misses, resets int64
 }
+
+// calcSlot is one memo entry of P(blocked̄ | cond). blocked is never
+// empty for a memoized entry (the recursion returns 1 before memoizing),
+// so blocked == 0 marks an empty slot.
+type calcSlot struct {
+	cond, blocked blueprint.ClientSet
+	val           float64
+}
+
+var (
+	calcCacheHits   = obs.GetCounter("sched_joint_cache_hit_total")
+	calcCacheMisses = obs.GetCounter("sched_joint_cache_miss_total")
+	calcCacheResets = obs.GetCounter("sched_joint_cache_reset_total")
+)
 
 // NewCalculator returns a Calculator over the given topology. The
 // topology is not copied; callers must not mutate it while in use.
 func NewCalculator(topo *blueprint.Topology) *Calculator {
-	return &Calculator{
-		topo: topo,
-		memo: make(map[[2]blueprint.ClientSet]float64),
+	c := &Calculator{topo: topo}
+	c.SetMemoLimit(0)
+	return c
+}
+
+// SetMemoLimit bounds the memo table to max entries (<= 0 selects the
+// default, 32768) and clears it. Because the table resets wholesale
+// instead of evicting, every bound returns identical probabilities —
+// only the recomputation rate differs.
+func (c *Calculator) SetMemoLimit(max int) {
+	if max <= 0 {
+		max = defaultMemoEntries
 	}
+	n := 1
+	for n < 2*max {
+		n <<= 1 // load factor stays <= 0.5
+	}
+	c.max = max
+	c.mask = uint64(n - 1)
+	c.slots = make([]calcSlot, n)
+	c.count = 0
+}
+
+// probe returns the slot index where key (cond, blocked) lives or would
+// be inserted.
+func (c *Calculator) probe(cond, blocked blueprint.ClientSet) uint64 {
+	i := (mix64(uint64(cond)) ^ mix64(^uint64(blocked))) & c.mask
+	for c.slots[i].blocked != 0 && (c.slots[i].cond != cond || c.slots[i].blocked != blocked) {
+		i = (i + 1) & c.mask
+	}
+	return i
+}
+
+// memoReset clears every slot; deterministic by construction (no
+// eviction order to depend on).
+func (c *Calculator) memoReset() {
+	for i := range c.slots {
+		c.slots[i] = calcSlot{}
+	}
+	c.count = 0
+	c.resets++
+}
+
+// flushMetrics moves the local probe tallies into the obs counters.
+func (c *Calculator) flushMetrics() {
+	if c.hits != 0 {
+		calcCacheHits.Add(c.hits)
+	}
+	if c.misses != 0 {
+		calcCacheMisses.Add(c.misses)
+	}
+	if c.resets != 0 {
+		calcCacheResets.Add(c.resets)
+	}
+	c.hits, c.misses, c.resets = 0, 0, 0
+}
+
+// mix64 is the SplitMix64 finalizer, scrambling ClientSet bit patterns
+// (which cluster in the low bits) into uniform table indices.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Marginal implements Distribution.
@@ -66,7 +159,9 @@ func (c *Calculator) Prob(clear, blocked blueprint.ClientSet) float64 {
 	if pu == 0 {
 		return 0
 	}
-	return pu * c.blockedGiven(clear, blocked)
+	p := pu * c.blockedGiven(clear, blocked)
+	c.flushMetrics()
+	return p
 }
 
 // blockedGiven returns P(V̄ | cond clear) via the Eqn 9 recursion:
@@ -79,12 +174,15 @@ func (c *Calculator) blockedGiven(cond, blocked blueprint.ClientSet) float64 {
 	if blocked.Empty() {
 		return 1
 	}
-	key := [2]blueprint.ClientSet{cond, blocked}
-	if v, ok := c.memo[key]; ok {
-		return v
+	i := c.probe(cond, blocked)
+	if s := &c.slots[i]; s.blocked != 0 {
+		c.hits++
+		return s.val
 	}
-	members := blocked.Members()
-	vm := members[len(members)-1]
+	c.misses++
+	// vm is the highest-indexed member of blocked, matching the old
+	// Members()[len-1] recursion order without materializing the slice.
+	vm := 63 - mathbits.LeadingZeros64(uint64(blocked))
 	rest := blocked.Remove(vm)
 	pRest := c.blockedGiven(cond, rest)
 	var p float64
@@ -95,7 +193,16 @@ func (c *Calculator) blockedGiven(cond, blocked blueprint.ClientSet) float64 {
 			p = 0 // guard tiny negative float residue
 		}
 	}
-	c.memo[key] = p
+	if c.count >= c.max {
+		c.memoReset()
+	}
+	// Re-probe: the recursion above (or a reset) may have moved the
+	// insertion slot since the miss.
+	i = c.probe(cond, blocked)
+	if c.slots[i].blocked == 0 {
+		c.slots[i] = calcSlot{cond: cond, blocked: blocked, val: p}
+		c.count++
+	}
 	return p
 }
 
@@ -178,6 +285,11 @@ type Empirical struct {
 	counts map[blueprint.ClientSet]int
 	total  int
 	n      int
+	// hits[i] counts outcomes in which client i passed CCA, maintained
+	// by Add so Marginal is O(1) instead of a scan over every distinct
+	// outcome (the scan made Marginal quadratic when an Empirical oracle
+	// backs the speculative scheduler's candidate ranking, Fig 15).
+	hits [blueprint.MaxClients]int
 }
 
 // NewEmpirical returns an empty empirical distribution over n clients.
@@ -189,6 +301,7 @@ func NewEmpirical(n int) *Empirical {
 func (e *Empirical) Add(accessible blueprint.ClientSet) {
 	e.counts[accessible]++
 	e.total++
+	accessible.ForEach(func(i int) { e.hits[i]++ })
 }
 
 // Total returns the number of recorded subframes.
@@ -196,16 +309,10 @@ func (e *Empirical) Total() int { return e.total }
 
 // Marginal implements Distribution.
 func (e *Empirical) Marginal(i int) float64 {
-	if e.total == 0 {
+	if e.total == 0 || i < 0 || i >= blueprint.MaxClients {
 		return 0
 	}
-	hits := 0
-	for mask, c := range e.counts {
-		if mask.Has(i) {
-			hits += c
-		}
-	}
-	return float64(hits) / float64(e.total)
+	return float64(e.hits[i]) / float64(e.total)
 }
 
 // Prob implements Distribution.

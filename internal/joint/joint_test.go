@@ -175,6 +175,151 @@ func TestEmpiricalConvergesToCalculator(t *testing.T) {
 	}
 }
 
+// TestEmpiricalMarginalMatchesScan asserts the O(1) per-client hit
+// counters maintained by Add stay equivalent to the full scan over the
+// outcome-count map they replaced (the scan made Marginal quadratic on
+// the Fig 15 oracle path).
+func TestEmpiricalMarginalMatchesScan(t *testing.T) {
+	r := rng.New(23)
+	const n = 9
+	e := NewEmpirical(n)
+	for s := 0; s < 5000; s++ {
+		var acc blueprint.ClientSet
+		for i := 0; i < n; i++ {
+			if r.Bool(0.3 + 0.05*float64(i)) {
+				acc = acc.Add(i)
+			}
+		}
+		e.Add(acc)
+	}
+	for i := 0; i < n; i++ {
+		hits := 0
+		for mask, c := range e.counts {
+			if mask.Has(i) {
+				hits += c
+			}
+		}
+		want := float64(hits) / float64(e.total)
+		if got := e.Marginal(i); got != want {
+			t.Errorf("Marginal(%d) = %v, scan over counts gives %v", i, got, want)
+		}
+	}
+	// Out-of-range clients are simply never accessible.
+	if e.Marginal(-1) != 0 || e.Marginal(blueprint.MaxClients) != 0 {
+		t.Error("out-of-range Marginal not 0")
+	}
+}
+
+// TestCalculatorMemoLimitInvariance pins the flat memo's reset-not-evict
+// contract: a calculator whose memo holds 8 entries must return exactly
+// the probabilities of an unbounded one (entries are pure functions of
+// the topology), while actually resetting along the way.
+func TestCalculatorMemoLimitInvariance(t *testing.T) {
+	topo := testTopology()
+	ref := NewCalculator(topo)
+	tiny := NewCalculator(topo)
+	tiny.SetMemoLimit(8)
+
+	full := blueprint.NewClientSet(0, 1, 2, 3, 4)
+	for clearMask := blueprint.ClientSet(0); clearMask <= full; clearMask++ {
+		if !full.Contains(clearMask) {
+			continue
+		}
+		rest := full.Minus(clearMask)
+		for blockedMask := blueprint.ClientSet(0); blockedMask <= rest; blockedMask++ {
+			if !rest.Contains(blockedMask) {
+				continue
+			}
+			got, want := tiny.Prob(clearMask, blockedMask), ref.Prob(clearMask, blockedMask)
+			if got != want {
+				t.Fatalf("Prob(%v, %v) = %v with 8-entry memo, %v unbounded",
+					clearMask, blockedMask, got, want)
+			}
+		}
+	}
+	if tiny.count > tiny.max {
+		t.Errorf("memo holds %d entries, bound is %d", tiny.count, tiny.max)
+	}
+}
+
+// TestDistributionAgreementProperty cross-checks all three independent
+// ways of producing a joint access distribution over random topologies:
+// the Section 3.6 recursion (Calculator), exact inclusion-exclusion,
+// and Monte-Carlo counting fed into an Empirical oracle. The first two
+// must agree to float precision, the empirical estimate to sampling
+// tolerance.
+func TestDistributionAgreementProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo sampling per seed")
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(4)
+		topo := &blueprint.Topology{N: n}
+		for k, h := 0, 1+r.Intn(4); k < h; k++ {
+			var set blueprint.ClientSet
+			for i := 0; i < n; i++ {
+				if r.Bool(0.4) {
+					set = set.Add(i)
+				}
+			}
+			if set.Empty() {
+				set = set.Add(r.Intn(n))
+			}
+			topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{
+				Q: r.Float64() * 0.8, Clients: set,
+			})
+		}
+		var all, clear, blocked blueprint.ClientSet
+		for i := 0; i < n; i++ {
+			all = all.Add(i)
+			switch r.Intn(3) {
+			case 0:
+				clear = clear.Add(i)
+			case 1:
+				blocked = blocked.Add(i)
+			}
+		}
+
+		calc := NewCalculator(topo)
+		emp := NewEmpirical(n)
+		const trials = 30000
+		for s := 0; s < trials; s++ {
+			var silenced blueprint.ClientSet
+			for _, ht := range topo.HTs {
+				if r.Bool(ht.Q) {
+					silenced = silenced.Union(ht.Clients)
+				}
+			}
+			emp.Add(all.Minus(silenced))
+		}
+
+		pCalc := calc.Prob(clear, blocked)
+		pIE := ProbInclusionExclusion(topo, clear, blocked)
+		pEmp := emp.Prob(clear, blocked)
+		if math.Abs(pCalc-pIE) > 1e-9 {
+			t.Logf("seed %d: calc %v vs inclusion-exclusion %v", seed, pCalc, pIE)
+			return false
+		}
+		if math.Abs(pCalc-pEmp) > 0.02 {
+			t.Logf("seed %d: calc %v vs empirical %v", seed, pCalc, pEmp)
+			return false
+		}
+		// Marginals must agree the same way.
+		for i := 0; i < n; i++ {
+			if math.Abs(calc.Marginal(i)-emp.Marginal(i)) > 0.02 {
+				t.Logf("seed %d: marginal(%d) calc %v vs empirical %v",
+					seed, i, calc.Marginal(i), emp.Marginal(i))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestRecursionEqualsInclusionExclusionProperty fuzzes random topologies
 // and random disjoint set pairs: the Section 3.6 recursion and exact
 // inclusion-exclusion must always agree.

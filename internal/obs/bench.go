@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BenchEntry is one recorded benchmark line of a BENCH report.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the file layout of the BENCH JSON written by
+// cmd/blubench (BENCH_baseline.json and the ci.sh kernel-smoke output).
+// It lives in obs, next to Manifest, so cmd/blumanifest can schema-check
+// BENCH files the same way it gates run manifests.
+type BenchReport struct {
+	GoVersion   string `json:"go_version"`
+	GitDescribe string `json:"git_describe,omitempty"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Note flags environments in which the speedup column cannot mean
+	// anything (a single-CPU machine timeslices the workers instead of
+	// running them concurrently).
+	Note    string       `json:"note,omitempty"`
+	Entries []BenchEntry `json:"entries"`
+	// Speedups maps "<bench>/P=<p>_vs_P=1" to sequential-ns/parallel-ns.
+	Speedups map[string]float64 `json:"speedups"`
+	// Metrics is the obs snapshot accumulated over the benchmark run,
+	// describing the work behind the timings.
+	Metrics Snapshot `json:"metrics,omitempty"`
+}
+
+// Entry returns the entry with the given name, or nil.
+func (r *BenchReport) Entry(name string) *BenchEntry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the report invariants: an identified toolchain, at
+// least one entry, unique entry names, positive iteration counts and
+// timings, non-negative allocation stats, and positive speedup ratios.
+func (r *BenchReport) Validate() error {
+	if r.GoVersion == "" {
+		return errors.New("obs: bench report missing go_version")
+	}
+	if r.GOMAXPROCS < 1 {
+		return fmt.Errorf("obs: bench report GOMAXPROCS %d out of range", r.GOMAXPROCS)
+	}
+	if len(r.Entries) == 0 {
+		return errors.New("obs: bench report has no entries")
+	}
+	seen := make(map[string]bool, len(r.Entries))
+	for _, e := range r.Entries {
+		if e.Name == "" {
+			return errors.New("obs: bench entry with empty name")
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("obs: duplicate bench entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Iterations <= 0 {
+			return fmt.Errorf("obs: bench entry %q ran %d iterations", e.Name, e.Iterations)
+		}
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("obs: bench entry %q has ns_per_op %d", e.Name, e.NsPerOp)
+		}
+		if e.BytesPerOp < 0 || e.AllocsPerOp < 0 {
+			return fmt.Errorf("obs: bench entry %q has negative allocation stats", e.Name)
+		}
+	}
+	for k, v := range r.Speedups {
+		if v <= 0 {
+			return fmt.Errorf("obs: speedup %q is %v", k, v)
+		}
+	}
+	return nil
+}

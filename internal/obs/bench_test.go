@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validBenchReport() *BenchReport {
+	return &BenchReport{
+		GoVersion:  "go1.24.0",
+		GOMAXPROCS: 4,
+		Entries: []BenchEntry{
+			{Name: "Schedule/PF", Iterations: 100, NsPerOp: 9000, MsPerOp: 0.009, BytesPerOp: 424, AllocsPerOp: 3},
+			{Name: "Schedule/BLU", Iterations: 10, NsPerOp: 120000, MsPerOp: 0.12, BytesPerOp: 584, AllocsPerOp: 3},
+		},
+		Speedups: map[string]float64{"Infer/N=8/P=4_vs_P=1": 1.2},
+	}
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	if err := validBenchReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchReport)
+		want   string
+	}{
+		{"missing go_version", func(r *BenchReport) { r.GoVersion = "" }, "go_version"},
+		{"bad gomaxprocs", func(r *BenchReport) { r.GOMAXPROCS = 0 }, "GOMAXPROCS"},
+		{"no entries", func(r *BenchReport) { r.Entries = nil }, "no entries"},
+		{"empty name", func(r *BenchReport) { r.Entries[0].Name = "" }, "empty name"},
+		{"duplicate name", func(r *BenchReport) { r.Entries[1].Name = r.Entries[0].Name }, "duplicate"},
+		{"zero iterations", func(r *BenchReport) { r.Entries[0].Iterations = 0 }, "iterations"},
+		{"zero ns/op", func(r *BenchReport) { r.Entries[0].NsPerOp = 0 }, "ns_per_op"},
+		{"negative allocs", func(r *BenchReport) { r.Entries[0].AllocsPerOp = -1 }, "allocation"},
+		{"bad speedup", func(r *BenchReport) { r.Speedups["x"] = 0 }, "speedup"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validBenchReport()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("invalid report accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBenchReportEntryLookup(t *testing.T) {
+	r := validBenchReport()
+	if e := r.Entry("Schedule/BLU"); e == nil || e.NsPerOp != 120000 {
+		t.Errorf("Entry(Schedule/BLU) = %+v", e)
+	}
+	if e := r.Entry("nope"); e != nil {
+		t.Errorf("Entry(nope) = %+v, want nil", e)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := validBenchReport()
+	r.Metrics = Snapshot{Counters: map[string]int64{"sched_blu_cache_hit_total": 7}}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, got) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, *r)
+	}
+}

@@ -48,36 +48,40 @@ func (a *AccessAware) Schedule(_ int) *lte.Schedule {
 	env := a.st.env
 	a.st.beginSubframe()
 	sch := lte.NewSchedule(env.NumRB)
-	budget := newUEBudget(env.K)
+	arena := make([]int, 0, env.NumRB*env.M)
 	for b := 0; b < env.NumRB; b++ {
-		group := a.greedyGroup(budget, b)
-		sch.RB[b] = group
-		for _, ue := range group {
-			budget.note(ue)
-			// Provisional load uses the expected service.
-			a.st.noteGrant(ue, a.dist.Marginal(ue)*env.Rate(ue, b)*env.groupScale(len(group)))
+		group := a.greedyGroup(b)
+		if len(group) == 0 {
+			continue
 		}
+		scale := env.groupScale(len(group))
+		for _, ue := range group {
+			a.st.budgetNote(ue)
+			// Provisional load uses the expected service.
+			a.st.noteGrant(ue, a.dist.Marginal(ue)*env.Rate(ue, b)*scale)
+		}
+		arena, sch.RB[b] = commitGroup(arena, group)
 	}
 	return sch
 }
 
-func (a *AccessAware) greedyGroup(budget *ueBudget, b int) []int {
+// greedyGroup is greedyPFGroup with access-weighted metrics: the group's
+// Σ p·r/R sum is maintained incrementally, and the returned slice is
+// scheduler scratch, valid until the next greedy call.
+func (a *AccessAware) greedyGroup(b int) []int {
 	env := a.st.env
-	var group []int
-	in := make([]bool, env.NumUE)
+	group := a.st.group[:0]
+	in := a.st.in
+	sum := 0.0 // Σ_{g∈G} p(g)·r_{g,b}/R_g, scale factored out
 	current := 0.0
 	for len(group) < env.M {
 		bestUE, bestUtil := -1, current
 		scale := env.groupScale(len(group) + 1)
 		for ue := 0; ue < env.NumUE; ue++ {
-			if in[ue] || !budget.allows(ue) || !env.hasBacklog(ue, a.st.served[ue]) {
+			if in[ue] || !a.st.budgetAllows(ue) || !env.hasBacklog(ue, a.st.served[ue]) {
 				continue
 			}
-			util := 0.0
-			for _, g := range group {
-				util += a.dist.Marginal(g) * env.Rate(g, b) * scale / a.st.metricDenom(g)
-			}
-			util += a.dist.Marginal(ue) * env.Rate(ue, b) * scale / a.st.metricDenom(ue)
+			util := (sum + a.dist.Marginal(ue)*env.Rate(ue, b)/a.st.metricDenom(ue)) * scale
 			if util > bestUtil+1e-15 {
 				bestUE, bestUtil = ue, util
 			}
@@ -87,7 +91,12 @@ func (a *AccessAware) greedyGroup(budget *ueBudget, b int) []int {
 		}
 		group = append(group, bestUE)
 		in[bestUE] = true
+		sum += a.dist.Marginal(bestUE) * env.Rate(bestUE, b) / a.st.metricDenom(bestUE)
 		current = bestUtil
 	}
+	for _, g := range group {
+		in[g] = false
+	}
+	a.st.group = group
 	return group
 }

@@ -110,13 +110,34 @@ type Scheduler interface {
 
 // pfState is the shared PF bookkeeping: R_i per client plus the
 // intra-subframe provisional load used to spread allocations across
-// clients within one subframe.
+// clients within one subframe. It also owns the per-scheduler scratch
+// buffers that make Schedule and Observe allocation-free in steady
+// state (DESIGN.md §11): each buffer is sized once at construction and
+// reset — never reallocated — per subframe or per RB.
 type pfState struct {
 	env     Env
 	r       []float64 // R_i, bits per subframe (EWMA)
 	served  []float64 // bits granted in the current subframe
 	metrics *schedMetrics
+
+	// Scratch. delivered backs observe's per-client bit totals.
+	// budgetUsed/budgetN track the K distinct-UE control budget within
+	// the current subframe (reset in beginSubframe). in flags greedy
+	// group membership within one RB (cleared on greedy exit). group is
+	// the group under construction; callers copy it out before the next
+	// greedy call reuses it.
+	delivered  []float64
+	budgetUsed []bool
+	budgetN    int
+	in         []bool
+	group      []int
+	warm       bool // scratch has served at least one subframe
 }
+
+// maxSpeculativeGroup caps a speculative RB group: the Eqn-4
+// expected-utility enumeration is 2^|G|, so groups (and the scratch
+// sized for them) stop at 16 members.
+const maxSpeculativeGroup = 16
 
 // newPFState is the single place Env.Alpha is defaulted: windows >= 1
 // are taken as given (Alpha documents 1 as valid), anything below —
@@ -127,10 +148,14 @@ func newPFState(env Env, name string) *pfState {
 		env.Alpha = 100
 	}
 	s := &pfState{
-		env:     env,
-		r:       make([]float64, env.NumUE),
-		served:  make([]float64, env.NumUE),
-		metrics: newSchedMetrics(name),
+		env:        env,
+		r:          make([]float64, env.NumUE),
+		served:     make([]float64, env.NumUE),
+		metrics:    newSchedMetrics(name),
+		delivered:  make([]float64, env.NumUE),
+		budgetUsed: make([]bool, env.NumUE),
+		in:         make([]bool, env.NumUE),
+		group:      make([]int, 0, maxSpeculativeGroup),
 	}
 	for i := range s.r {
 		s.r[i] = 1 // avoid the 1/R_i singularity before first service
@@ -142,25 +167,27 @@ func newPFState(env Env, name string) *pfState {
 // once per constructor call (cold); recording is atomic and gated on
 // obs.Enabled, so hot paths pay nothing when the layer is off.
 type schedMetrics struct {
-	subframes *obs.Counter // scheduled subframes
-	grants    *obs.Counter // (RB unit, UE) grants issued
-	success   *obs.Counter // grants decoded
-	blocked   *obs.Counter // grants silenced by the UE's CCA
-	collision *obs.Counter // grants lost to over-scheduling collisions
-	fading    *obs.Counter // grants lost to channel fading
-	wastedRB  *obs.Counter // granted RB units with no decoded stream
+	subframes    *obs.Counter // scheduled subframes
+	grants       *obs.Counter // (RB unit, UE) grants issued
+	success      *obs.Counter // grants decoded
+	blocked      *obs.Counter // grants silenced by the UE's CCA
+	collision    *obs.Counter // grants lost to over-scheduling collisions
+	fading       *obs.Counter // grants lost to channel fading
+	wastedRB     *obs.Counter // granted RB units with no decoded stream
+	scratchReuse *obs.Counter // subframes scheduled on reused scratch
 }
 
 func newSchedMetrics(name string) *schedMetrics {
 	p := "sched_" + strings.ToLower(name) + "_"
 	return &schedMetrics{
-		subframes: obs.GetCounter(p + "subframes_total"),
-		grants:    obs.GetCounter(p + "grants_total"),
-		success:   obs.GetCounter(p + "success_total"),
-		blocked:   obs.GetCounter(p + "blocked_total"),
-		collision: obs.GetCounter(p + "collision_total"),
-		fading:    obs.GetCounter(p + "fading_total"),
-		wastedRB:  obs.GetCounter(p + "wasted_rb_total"),
+		subframes:    obs.GetCounter(p + "subframes_total"),
+		grants:       obs.GetCounter(p + "grants_total"),
+		success:      obs.GetCounter(p + "success_total"),
+		blocked:      obs.GetCounter(p + "blocked_total"),
+		collision:    obs.GetCounter(p + "collision_total"),
+		fading:       obs.GetCounter(p + "fading_total"),
+		wastedRB:     obs.GetCounter(p + "wasted_rb_total"),
+		scratchReuse: obs.GetCounter(p + "scratch_reuse_total"),
 	}
 }
 
@@ -216,8 +243,32 @@ func (s *pfState) metricDenom(ue int) float64 {
 
 func (s *pfState) beginSubframe() {
 	s.metrics.subframes.Inc()
+	if s.warm {
+		s.metrics.scratchReuse.Inc()
+	}
+	s.warm = true
 	for i := range s.served {
 		s.served[i] = 0
+	}
+	for i := range s.budgetUsed {
+		s.budgetUsed[i] = false
+	}
+	s.budgetN = 0
+}
+
+// budgetAllows reports whether UE can still be introduced into the
+// subframe under the K distinct-UE control limit.
+func (s *pfState) budgetAllows(ue int) bool {
+	if s.env.K <= 0 || s.budgetUsed[ue] {
+		return true
+	}
+	return s.budgetN < s.env.K
+}
+
+func (s *pfState) budgetNote(ue int) {
+	if !s.budgetUsed[ue] {
+		s.budgetUsed[ue] = true
+		s.budgetN++
 	}
 }
 
@@ -233,7 +284,10 @@ func (s *pfState) observe(results []lte.RBResult) {
 	if obs.Enabled() {
 		s.metrics.record(results)
 	}
-	delivered := make([]float64, s.env.NumUE)
+	delivered := s.delivered
+	for i := range delivered {
+		delivered[i] = 0
+	}
 	for _, res := range results {
 		for i, ue := range res.Scheduled {
 			if ue >= 0 && ue < s.env.NumUE {
@@ -247,26 +301,15 @@ func (s *pfState) observe(results []lte.RBResult) {
 	}
 }
 
-// ueBudget tracks the K distinct-UE control limit within a subframe.
-type ueBudget struct {
-	k    int
-	used map[int]bool
-}
-
-func newUEBudget(k int) *ueBudget { return &ueBudget{k: k, used: make(map[int]bool)} }
-
-// allows reports whether UE can still be introduced into the subframe.
-func (b *ueBudget) allows(ue int) bool {
-	if b.k <= 0 || b.used[ue] {
-		return true
-	}
-	return len(b.used) < b.k
-}
-
-func (b *ueBudget) note(ue int) {
-	if b.used != nil {
-		b.used[ue] = true
-	}
+// commitGroup appends group to the arena and returns the extended arena
+// plus the full-capacity sub-slice now holding the group. The arena is
+// one allocation per Schedule call backing every RB's grant list, so
+// the returned *lte.Schedule is independent of the scheduler's scratch
+// (callers may retain it across Schedule calls).
+func commitGroup(arena, group []int) ([]int, []int) {
+	n := len(arena)
+	arena = append(arena, group...)
+	return arena, arena[n:len(arena):len(arena)]
 }
 
 // PF is the native proportional-fair scheduler of Eqn 1.
@@ -302,37 +345,42 @@ func (p *PF) Schedule(_ int) *lte.Schedule {
 	env := p.st.env
 	p.st.beginSubframe()
 	sch := lte.NewSchedule(env.NumRB)
-	budget := newUEBudget(env.K)
+	arena := make([]int, 0, env.NumRB*env.M)
 	for b := 0; b < env.NumRB; b++ {
-		group := greedyPFGroup(p.st, budget, b)
-		sch.RB[b] = group
-		for _, ue := range group {
-			budget.note(ue)
-			p.st.noteGrant(ue, env.Rate(ue, b)*env.groupScale(len(group)))
+		group := greedyPFGroup(p.st, b)
+		if len(group) == 0 {
+			continue
 		}
+		scale := env.groupScale(len(group))
+		for _, ue := range group {
+			p.st.budgetNote(ue)
+			p.st.noteGrant(ue, env.Rate(ue, b)*scale)
+		}
+		arena, sch.RB[b] = commitGroup(arena, group)
 	}
 	return sch
 }
 
 // greedyPFGroup builds the Eqn-1 group for RB b: add the client with the
 // best marginal utility until utility stops increasing or M is reached.
-func greedyPFGroup(st *pfState, budget *ueBudget, b int) []int {
+// The group's Σ r/R sum is maintained incrementally (the |G|-dependent
+// MU-MIMO scale factors out), so each greedy step costs O(N) instead of
+// O(N·|G|). The returned slice is scheduler scratch, valid until the
+// next greedy call.
+func greedyPFGroup(st *pfState, b int) []int {
 	env := st.env
-	var group []int
-	in := make([]bool, env.NumUE)
+	group := st.group[:0]
+	in := st.in
+	sum := 0.0 // Σ_{g∈G} r_{g,b}/R_g, scale factored out
 	current := 0.0
 	for len(group) < env.M {
 		bestUE, bestUtil := -1, current
 		scale := env.groupScale(len(group) + 1)
 		for ue := 0; ue < env.NumUE; ue++ {
-			if in[ue] || !budget.allows(ue) || !env.hasBacklog(ue, st.served[ue]) {
+			if in[ue] || !st.budgetAllows(ue) || !env.hasBacklog(ue, st.served[ue]) {
 				continue
 			}
-			util := 0.0
-			for _, g := range group {
-				util += env.Rate(g, b) * scale / st.metricDenom(g)
-			}
-			util += env.Rate(ue, b) * scale / st.metricDenom(ue)
+			util := (sum + env.Rate(ue, b)/st.metricDenom(ue)) * scale
 			if util > bestUtil+1e-15 {
 				bestUE, bestUtil = ue, util
 			}
@@ -342,7 +390,12 @@ func greedyPFGroup(st *pfState, budget *ueBudget, b int) []int {
 		}
 		group = append(group, bestUE)
 		in[bestUE] = true
+		sum += env.Rate(bestUE, b) / st.metricDenom(bestUE)
 		current = bestUtil
 	}
+	for _, g := range group {
+		in[g] = false
+	}
+	st.group = group
 	return group
 }

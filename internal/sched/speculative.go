@@ -7,6 +7,7 @@ import (
 	"blu/internal/blueprint"
 	"blu/internal/joint"
 	"blu/internal/lte"
+	"blu/internal/obs"
 )
 
 // Speculative is BLU's scheduler (Section 3.2.2): it over-schedules up
@@ -29,8 +30,26 @@ type Speculative struct {
 	// greedy step, pre-ranked by the access-weighted PF heuristic
 	// (default 12; <= 0 evaluates every client).
 	CandidateLimit int
+	// CacheEntries bounds the group-distribution cache. When the bound
+	// is reached the whole table resets deterministically (no eviction
+	// order to depend on), so schedules are byte-identical at any bound;
+	// <= 0 selects the default (8192 entries).
+	CacheEntries int
 
 	groups *groupDistCache
+
+	// Scratch reused across Schedule calls (allocation-free in steady
+	// state): candidate ranking and the Eqn-4 subset-sum buffers, the
+	// latter sized lazily up to the 2^maxSpeculativeGroup cap.
+	scored    []scoredCand
+	cands     []int
+	w         []float64
+	subsetSum []float64
+}
+
+type scoredCand struct {
+	ue    int
+	score float64
 }
 
 // NewSpeculative returns BLU's speculative scheduler drawing joint
@@ -45,7 +64,8 @@ func NewSpeculative(env Env, dist joint.Distribution) (*Speculative, error) {
 		dist:           dist,
 		OverFactor:     2,
 		CandidateLimit: 12,
-		groups:         newGroupDistCache(dist),
+		groups:         newGroupDistCache(dist, 0),
+		w:              make([]float64, maxSpeculativeGroup),
 	}, nil
 }
 
@@ -63,7 +83,7 @@ func (s *Speculative) Observe(_ int, results []lte.RBResult) { s.st.observe(resu
 // distribution cache is invalidated.
 func (s *Speculative) SetDistribution(dist joint.Distribution) {
 	s.dist = dist
-	s.groups = newGroupDistCache(dist)
+	s.groups = newGroupDistCache(dist, s.CacheEntries)
 }
 
 // WarmStart seeds R_i from another scheduler's averages (avg[i] from
@@ -81,8 +101,8 @@ func (s *Speculative) maxGroup() int {
 	if g < s.st.env.M {
 		g = s.st.env.M
 	}
-	if g > 16 {
-		g = 16 // expected-utility enumeration is 2^|G|
+	if g > maxSpeculativeGroup {
+		g = maxSpeculativeGroup // expected-utility enumeration is 2^|G|
 	}
 	return g
 }
@@ -91,29 +111,39 @@ func (s *Speculative) maxGroup() int {
 func (s *Speculative) Schedule(_ int) *lte.Schedule {
 	env := s.st.env
 	s.st.beginSubframe()
+	s.groups.setLimit(s.CacheEntries)
 	sch := lte.NewSchedule(env.NumRB)
-	budget := newUEBudget(env.K)
+	arena := make([]int, 0, env.NumRB*s.maxGroup())
 	for b := 0; b < env.NumRB; b++ {
-		group := s.speculativeGroup(budget, b)
-		sch.RB[b] = group
-		for _, ue := range group {
-			budget.note(ue)
-			s.st.noteGrant(ue, s.dist.Marginal(ue)*env.Rate(ue, b))
+		group := s.speculativeGroup(b)
+		if len(group) == 0 {
+			continue
 		}
+		// Provisional PF load is the expected service of the granted
+		// group: marginal access times rate, derated for the group size
+		// exactly as PF and AccessAware derate theirs.
+		scale := env.groupScale(len(group))
+		for _, ue := range group {
+			s.st.budgetNote(ue)
+			s.st.noteGrant(ue, s.dist.Marginal(ue)*env.Rate(ue, b)*scale)
+		}
+		arena, sch.RB[b] = commitGroup(arena, group)
 	}
+	s.groups.flushMetrics()
 	return sch
 }
 
 // speculativeGroup grows one RB's group per Eqn 3: repeatedly add the
 // client ℓ* maximizing E(G ∪ ℓ) − E(G); stop when no client improves
-// the expected utility or the f·M cap is reached.
-func (s *Speculative) speculativeGroup(budget *ueBudget, b int) []int {
+// the expected utility or the f·M cap is reached. The returned slice is
+// scheduler scratch, valid until the next greedy call.
+func (s *Speculative) speculativeGroup(b int) []int {
 	var set blueprint.ClientSet
-	var group []int
+	group := s.st.group[:0]
 	current := 0.0
 	limit := s.maxGroup()
 	for len(group) < limit {
-		cands := s.rankCandidates(set, budget, b)
+		cands := s.rankCandidates(set, b)
 		bestUE, bestUtil := -1, current
 		for _, ue := range cands {
 			util := s.expectedUtility(set.Add(ue), b)
@@ -128,28 +158,27 @@ func (s *Speculative) speculativeGroup(budget *ueBudget, b int) []int {
 		set = set.Add(bestUE)
 		current = bestUtil
 	}
+	s.st.group = group
 	return group
 }
 
 // rankCandidates orders the eligible clients by the access-weighted PF
 // heuristic p(i)·r_{i,b}/R_i and returns the top CandidateLimit of them
-// for exact expected-utility evaluation.
-func (s *Speculative) rankCandidates(set blueprint.ClientSet, budget *ueBudget, b int) []int {
+// for exact expected-utility evaluation. The returned slice is
+// scheduler scratch, valid until the next call.
+func (s *Speculative) rankCandidates(set blueprint.ClientSet, b int) []int {
 	env := s.st.env
-	type scored struct {
-		ue    int
-		score float64
-	}
-	var cands []scored
+	cands := s.scored[:0]
 	for ue := 0; ue < env.NumUE; ue++ {
-		if set.Has(ue) || !budget.allows(ue) || !env.hasBacklog(ue, s.st.served[ue]) {
+		if set.Has(ue) || !s.st.budgetAllows(ue) || !env.hasBacklog(ue, s.st.served[ue]) {
 			continue
 		}
-		cands = append(cands, scored{
+		cands = append(cands, scoredCand{
 			ue:    ue,
 			score: s.dist.Marginal(ue) * env.Rate(ue, b) / s.st.metricDenom(ue),
 		})
 	}
+	s.scored = cands
 	// Partial selection sort for the top-L scores: L is small.
 	limit := s.CandidateLimit
 	if limit <= 0 || limit > len(cands) {
@@ -164,10 +193,11 @@ func (s *Speculative) rankCandidates(set blueprint.ClientSet, budget *ueBudget, 
 		}
 		cands[i], cands[maxJ] = cands[maxJ], cands[i]
 	}
-	out := make([]int, 0, limit)
+	out := s.cands[:0]
 	for _, c := range cands[:limit] {
 		out = append(out, c.ue)
 	}
+	s.cands = out
 	return out
 }
 
@@ -178,13 +208,21 @@ func (s *Speculative) expectedUtility(group blueprint.ClientSet, b int) float64 
 	m := len(members)
 	// w[j] = r_{member_j, b}/R_{member_j}; the |g|-dependent MU-MIMO
 	// scale factors out of the inner sum.
-	w := make([]float64, m)
+	if len(s.w) < m {
+		s.w = make([]float64, maxSpeculativeGroup)
+	}
+	w := s.w
 	for j, ue := range members {
 		w[j] = env.Rate(ue, b) / s.st.metricDenom(ue)
 	}
-	// subsetSum[mask] = Σ_{j ∈ mask} w[j], built incrementally.
+	// subsetSum[mask] = Σ_{j ∈ mask} w[j], built incrementally in the
+	// lazily grown scratch (≤ 2^maxSpeculativeGroup entries).
+	if len(s.subsetSum) < 1<<uint(m) {
+		s.subsetSum = make([]float64, 1<<uint(m))
+	}
+	subsetSum := s.subsetSum
+	subsetSum[0] = 0
 	total := 0.0
-	subsetSum := make([]float64, 1<<uint(m))
 	for mask := 1; mask < 1<<uint(m); mask++ {
 		low := mask & -mask
 		subsetSum[mask] = subsetSum[mask&(mask-1)] + w[bits.TrailingZeros32(uint32(low))]
@@ -199,30 +237,88 @@ func (s *Speculative) expectedUtility(group blueprint.ClientSet, b int) float64 
 	return total
 }
 
+// defaultGroupCacheEntries bounds the group-distribution cache unless
+// Speculative.CacheEntries overrides it.
+const defaultGroupCacheEntries = 8192
+
 // groupDistCache memoizes, per client group, the exact probability of
 // every "which subset transmitted" outcome. The distribution depends
 // only on the (fixed) blueprint, so entries are reused across all RBs
-// and subframes of a speculative phase.
+// and subframes of a speculative phase. Storage is a flat
+// open-addressed table (power-of-two capacity, linear probing) with a
+// hard entry bound: hitting the bound resets the whole table — the
+// deterministic alternative to eviction, since recomputed entries are
+// bit-identical (DESIGN.md §11).
 type groupDistCache struct {
-	dist    joint.Distribution
-	entries map[blueprint.ClientSet]groupDistEntry
+	dist  joint.Distribution
+	max   int // entry bound; <= half the slot count
+	mask  uint64
+	slots []groupSlot
+	count int
+
+	// Local tallies flushed to the obs counters once per subframe.
+	hits, misses, resets int64
 }
 
-type groupDistEntry struct {
+type groupSlot struct {
+	key     blueprint.ClientSet
 	members []int
 	// exact[mask] = P(exactly the clients of mask transmit, rest of the
-	// group blocked), indexed by bitmask over members.
+	// group blocked), indexed by bitmask over members. nil marks an
+	// empty slot.
 	exact []float64
 }
 
-func newGroupDistCache(dist joint.Distribution) *groupDistCache {
-	return &groupDistCache{dist: dist, entries: make(map[blueprint.ClientSet]groupDistEntry)}
+var (
+	groupCacheHits   = obs.GetCounter("sched_blu_cache_hit_total")
+	groupCacheMisses = obs.GetCounter("sched_blu_cache_miss_total")
+	groupCacheResets = obs.GetCounter("sched_blu_cache_reset_total")
+)
+
+func newGroupDistCache(dist joint.Distribution, max int) *groupDistCache {
+	if max <= 0 {
+		max = defaultGroupCacheEntries
+	}
+	n := 1
+	for n < 2*max {
+		n <<= 1 // load factor stays <= 0.5
+	}
+	return &groupDistCache{
+		dist:  dist,
+		max:   max,
+		mask:  uint64(n - 1),
+		slots: make([]groupSlot, n),
+	}
+}
+
+// setLimit applies a changed entry bound, rebuilding (and thereby
+// resetting) the table. A no-op when the bound is unchanged.
+func (c *groupDistCache) setLimit(max int) {
+	if max <= 0 {
+		max = defaultGroupCacheEntries
+	}
+	if max == c.max {
+		return
+	}
+	*c = *newGroupDistCache(c.dist, max)
+}
+
+// probe returns the slot index where group lives or would be inserted.
+func (c *groupDistCache) probe(group blueprint.ClientSet) uint64 {
+	i := mix64(uint64(group)) & c.mask
+	for c.slots[i].exact != nil && c.slots[i].key != group {
+		i = (i + 1) & c.mask
+	}
+	return i
 }
 
 func (c *groupDistCache) get(group blueprint.ClientSet) ([]int, []float64) {
-	if e, ok := c.entries[group]; ok {
+	i := c.probe(group)
+	if e := &c.slots[i]; e.exact != nil {
+		c.hits++
 		return e.members, e.exact
 	}
+	c.misses++
 	members := group.Members()
 	m := len(members)
 	exact := make([]float64, 1<<uint(m))
@@ -235,6 +331,46 @@ func (c *groupDistCache) get(group blueprint.ClientSet) ([]int, []float64) {
 		}
 		exact[mask] = c.dist.Prob(clear, group.Minus(clear))
 	}
-	c.entries[group] = groupDistEntry{members: members, exact: exact}
+	if c.count >= c.max {
+		c.reset()
+		i = c.probe(group)
+	}
+	c.slots[i] = groupSlot{key: group, members: members, exact: exact}
+	c.count++
 	return members, exact
+}
+
+// reset clears every slot. Dropping the whole table (rather than
+// evicting) keeps cached state independent of lookup order, so a bound
+// change can never change a schedule.
+func (c *groupDistCache) reset() {
+	for i := range c.slots {
+		c.slots[i] = groupSlot{}
+	}
+	c.count = 0
+	c.resets++
+}
+
+// flushMetrics moves the local tallies into the obs counters (one
+// atomic add per counter per subframe, nothing per probe).
+func (c *groupDistCache) flushMetrics() {
+	if c.hits != 0 {
+		groupCacheHits.Add(c.hits)
+	}
+	if c.misses != 0 {
+		groupCacheMisses.Add(c.misses)
+	}
+	if c.resets != 0 {
+		groupCacheResets.Add(c.resets)
+	}
+	c.hits, c.misses, c.resets = 0, 0, 0
+}
+
+// mix64 is the SplitMix64 finalizer, scrambling ClientSet bit patterns
+// (which cluster in the low bits) into uniform table indices.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

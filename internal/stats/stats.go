@@ -243,9 +243,18 @@ func (e *EWMA) Set(v float64) { e.value, e.started = v, true }
 // WilsonInterval returns the Wilson score interval for a binomial
 // proportion with k successes out of n trials at ~95% confidence. It is
 // used to attach uncertainty to measured access probabilities.
+// Out-of-range inputs are clamped: n <= 0 yields the vacuous [0, 1],
+// and k outside [0, n] is treated as the nearest bound — without the
+// clamp, p·(1−p) goes negative and both bounds come back NaN.
 func WilsonInterval(k, n int) (lo, hi float64) {
-	if n == 0 {
+	if n <= 0 {
 		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
 	}
 	const z = 1.96
 	p := float64(k) / float64(n)

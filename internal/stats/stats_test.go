@@ -199,6 +199,48 @@ func TestWilsonInterval(t *testing.T) {
 	}
 }
 
+// TestWilsonIntervalClampsInputs is the regression test for the NaN
+// bug: k outside [0, n] made p·(1−p) negative under the square root, so
+// both bounds came back NaN. Out-of-range inputs must clamp to the
+// nearest valid count and negative n must behave like n = 0.
+func TestWilsonIntervalClampsInputs(t *testing.T) {
+	const n = 10
+	cases := []struct {
+		name         string
+		k            int
+		wantLo       float64 // exact expected equality with the clamped call
+		clampK       int
+		checkExtreme func(lo, hi float64) bool
+	}{
+		{"k=-1 clamps to 0", -1, 0, 0, func(lo, hi float64) bool { return lo == 0 }},
+		{"k=0 in range", 0, 0, 0, func(lo, hi float64) bool { return lo == 0 }},
+		{"k=n in range", n, 0, n, func(lo, hi float64) bool { return hi == 1 }},
+		{"k=n+1 clamps to n", n + 1, 0, n, func(lo, hi float64) bool { return hi == 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi := WilsonInterval(tc.k, n)
+			if math.IsNaN(lo) || math.IsNaN(hi) {
+				t.Fatalf("WilsonInterval(%d, %d) = [%v, %v]: NaN bound", tc.k, n, lo, hi)
+			}
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("WilsonInterval(%d, %d) = [%v, %v]: not a sub-interval of [0,1]", tc.k, n, lo, hi)
+			}
+			wantLo, wantHi := WilsonInterval(tc.clampK, n)
+			if lo != wantLo || hi != wantHi {
+				t.Errorf("WilsonInterval(%d, %d) = [%v, %v], want the k=%d interval [%v, %v]",
+					tc.k, n, lo, hi, tc.clampK, wantLo, wantHi)
+			}
+			if !tc.checkExtreme(lo, hi) {
+				t.Errorf("WilsonInterval(%d, %d) = [%v, %v]: extreme bound not pinned", tc.k, n, lo, hi)
+			}
+		})
+	}
+	if lo, hi := WilsonInterval(3, -1); lo != 0 || hi != 1 {
+		t.Errorf("negative n interval = [%v, %v], want vacuous [0, 1]", lo, hi)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	xs := []float64{-1, 0, 0.1, 0.5, 0.9, 1.0, 2.0}
 	h := Histogram(xs, 0, 1, 2)
