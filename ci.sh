@@ -70,4 +70,42 @@ go run ./cmd/blumanifest \
   -require faults_observations_dropped_total,faults_stall_iterations_total,core_gate_trips_total,core_infer_retries_total,core_fallback_phases_total \
   "$obsdir/chaos.json"
 
+echo "== serve smoke =="
+# The serving layer end to end, race-instrumented: start blud on a
+# loopback port, drive a seeded closed-loop bluload run against it, and
+# require (a) the load report passes blumanifest's BENCH schema check
+# with all three endpoint entries, (b) the embedded server snapshot
+# proves the result cache actually absorbed repeats (nonzero
+# serve_cache_hit_total), and (c) a SIGTERM drain flushes a manifest
+# that validates with the same counters.
+blud_pid=""
+trap 'kill "$blud_pid" 2>/dev/null; rm -rf "$obsdir"' EXIT
+go build -race -o "$obsdir/blud" ./cmd/blud
+go build -race -o "$obsdir/bluload" ./cmd/bluload
+"$obsdir/blud" -addr 127.0.0.1:0 -manifest "$obsdir/blud_manifest.json" \
+  >"$obsdir/blud.out" 2>"$obsdir/blud.err" &
+blud_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^blud: listening on //p' "$obsdir/blud.out")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+if [ -z "$addr" ]; then
+  echo "ci: blud never reported its address" >&2
+  cat "$obsdir/blud.out" "$obsdir/blud.err" >&2
+  exit 1
+fi
+"$obsdir/bluload" -addr "$addr" -seed 7 -c 4 -n 200 -o "$obsdir/bench_serve.json" >/dev/null
+go run ./cmd/blumanifest -bench \
+  -require-entry Serve/infer,Serve/joint,Serve/schedule \
+  -require serve_requests_total,serve_cache_hit_total \
+  "$obsdir/bench_serve.json"
+kill -TERM "$blud_pid"
+wait "$blud_pid"
+blud_pid=""
+go run ./cmd/blumanifest \
+  -require serve_requests_total,serve_cache_hit_total,serve_infer_total,serve_joint_total,serve_schedule_total \
+  "$obsdir/blud_manifest.json"
+
 echo "ci: all clean"

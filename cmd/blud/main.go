@@ -1,0 +1,113 @@
+// Command blud serves the BLU controller over HTTP/JSON: topology
+// inference (POST /v1/infer), joint access distributions
+// (POST /v1/joint), and subframe scheduling (POST /v1/schedule), plus
+// /healthz and a /metrics snapshot of the obs registry.
+//
+// Usage:
+//
+//	blud [flags]
+//
+// Flags:
+//
+//	-addr a          listen address (default 127.0.0.1:8245; use :0 to
+//	                 pick a free port — the bound address is printed as
+//	                 "blud: listening on ADDR")
+//	-workers n       compute pool size (0 = all cores)
+//	-solver-parallel n  per-inference solver parallelism (default 1;
+//	                 throughput comes from concurrent requests)
+//	-queue n         work-queue depth; beyond it requests get 429 +
+//	                 Retry-After (default 64)
+//	-cache n         infer result-cache entries (default 1024, -1 off)
+//	-timeout d       default per-request deadline (default 30s)
+//	-max-timeout d   cap on client-supplied timeout_ms (default 2m)
+//	-manifest file   write a JSON run manifest here on shutdown
+//	-pprof addr      serve net/http/pprof on addr
+//
+// SIGTERM or SIGINT triggers a graceful drain: the listener closes,
+// every accepted request finishes, and the manifest is flushed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blu/internal/obs"
+	"blu/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "blud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blud", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8245", "listen address (use :0 for a free port)")
+	workers := fs.Int("workers", 0, "compute pool size (0 = all cores)")
+	solverPar := fs.Int("solver-parallel", 1, "per-inference solver parallelism")
+	queue := fs.Int("queue", 64, "work-queue depth (full queue answers 429)")
+	cache := fs.Int("cache", 1024, "infer result-cache entries (-1 disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client timeout_ms")
+	manifest := fs.String("manifest", "", "write a JSON run manifest to this file on shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	// The service is the metrics producer; recording is always on so
+	// /metrics and the manifest mean something.
+	obs.Enable()
+	if *pprofAddr != "" {
+		got, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "blud: pprof on %s\n", got)
+	}
+
+	s := serve.New(serve.Config{
+		Workers:           *workers,
+		SolverParallelism: *solverPar,
+		QueueDepth:        *queue,
+		CacheEntries:      *cache,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		ManifestPath:      *manifest,
+		Tool:              "blud",
+		Args:              args,
+	})
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	// Scripted consumers (ci.sh serve-smoke, bluload wrappers) parse
+	// this exact line to learn the bound port.
+	fmt.Printf("blud: listening on %s\n", bound)
+
+	sigch := make(chan os.Signal, 1)
+	signal.Notify(sigch, syscall.SIGTERM, os.Interrupt)
+	sig := <-sigch
+	signal.Stop(sigch)
+	fmt.Fprintf(os.Stderr, "blud: %s, draining\n", sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if *manifest != "" {
+		fmt.Fprintf(os.Stderr, "blud: manifest written to %s\n", *manifest)
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+// Command bluload is a deterministic closed-loop load generator for
+// blud. It synthesizes a seeded pool of request payloads (random
+// hidden-terminal topologies rendered as measurements, joint queries,
+// and schedule requests), drives them against a running daemon from a
+// fixed worker count, and reports throughput plus latency percentiles
+// per endpoint. The request mix is a pure function of (seed, request
+// index), so two runs against equivalent servers issue byte-identical
+// request streams.
+//
+// Usage:
+//
+//	bluload -addr HOST:PORT [flags]
+//
+// Flags:
+//
+//	-addr a      target daemon address (required)
+//	-seed n      payload/mix seed (default 1)
+//	-c n         concurrent closed-loop workers (default 4)
+//	-n n         total requests (default 300; ignored when -duration set)
+//	-duration d  run for a wall-clock window instead of a fixed count
+//	-qps q       paced request rate (0 = unpaced closed loop)
+//	-o file      write an obs.BenchReport JSON (entries Serve/infer,
+//	             Serve/joint, Serve/schedule; the server's /metrics
+//	             snapshot is embedded so its serve_cache_* counters ride
+//	             along)
+//
+// Exit status is nonzero when any request fails (transport error or a
+// status other than 200/429; 429s are backpressure, counted but not
+// failures).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blu/internal/blueprint"
+	"blu/internal/obs"
+	"blu/internal/rng"
+	"blu/internal/serve"
+	"blu/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bluload:", err)
+		os.Exit(1)
+	}
+}
+
+// endpoint indexes the three request kinds.
+const (
+	epInfer = iota
+	epJoint
+	epSchedule
+	numEndpoints
+)
+
+var epNames = [numEndpoints]string{"Serve/infer", "Serve/joint", "Serve/schedule"}
+var epPaths = [numEndpoints]string{"/v1/infer", "/v1/joint", "/v1/schedule"}
+
+// payloadPool is the seeded request corpus: a small pool per endpoint,
+// cycled by request index. The infer pool is deliberately smaller than
+// typical request counts so repeats exercise the daemon's result cache.
+type payloadPool struct {
+	byEndpoint [numEndpoints][][]byte
+}
+
+// buildPool synthesizes the corpus from seed alone. Topologies are
+// random hidden-terminal layouts; infer measurements are the analytic
+// access distributions of a truth topology, so every infer request is
+// a well-posed instance the solver can actually invert.
+func buildPool(seed uint64) *payloadPool {
+	r := rng.New(seed).Split("payloads")
+	pool := &payloadPool{}
+	const inferPayloads, jointPayloads, schedPayloads = 8, 16, 16
+
+	randTopo := func(r *rng.Source) *blueprint.Topology {
+		n := 4 + r.Intn(6)
+		topo := &blueprint.Topology{N: n}
+		for h := 0; h < 1+r.Intn(2); h++ {
+			size := 2 + r.Intn(2)
+			var set blueprint.ClientSet
+			for set.Count() < size {
+				set = set.Add(r.Intn(n))
+			}
+			topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{
+				Q:       0.2 + 0.4*r.Float64(),
+				Clients: set,
+			})
+		}
+		return topo
+	}
+
+	ri := r.Split("infer")
+	for k := 0; k < inferPayloads; k++ {
+		topo := randTopo(ri)
+		mw := serve.MeasurementsWire{N: topo.N, P: make([]float64, topo.N)}
+		for i := 0; i < topo.N; i++ {
+			mw.P[i] = topo.AccessProb(i)
+			for j := i + 1; j < topo.N; j++ {
+				mw.Pairs = append(mw.Pairs, serve.PairProb{I: i, J: j, P: topo.PairProb(i, j)})
+			}
+		}
+		body, _ := json.Marshal(serve.InferRequest{
+			Measurements: mw,
+			Options:      serve.InferOptionsWire{Seed: ri.Uint64()},
+		})
+		pool.byEndpoint[epInfer] = append(pool.byEndpoint[epInfer], body)
+	}
+
+	rj := r.Split("joint")
+	for k := 0; k < jointPayloads; k++ {
+		topo := randTopo(rj)
+		clear := []int{rj.Intn(topo.N)}
+		blocked := []int{}
+		if b := rj.Intn(topo.N); b != clear[0] {
+			blocked = append(blocked, b)
+		}
+		body, _ := json.Marshal(serve.JointRequest{
+			Topology: serve.TopologyToWire(topo),
+			Clear:    clear,
+			Blocked:  blocked,
+		})
+		pool.byEndpoint[epJoint] = append(pool.byEndpoint[epJoint], body)
+	}
+
+	rs := r.Split("schedule")
+	for k := 0; k < schedPayloads; k++ {
+		topo := randTopo(rs)
+		rates := make([][]float64, topo.N)
+		for i := range rates {
+			rates[i] = []float64{(1 + 9*rs.Float64()) * 1e6}
+		}
+		body, _ := json.Marshal(serve.ScheduleRequest{
+			Topology:  serve.TopologyToWire(topo),
+			NumRB:     25,
+			M:         2 + rs.Intn(3),
+			Scheduler: [3]string{"blu", "aa", "pf"}[rs.Intn(3)],
+			Rates:     rates,
+		})
+		pool.byEndpoint[epSchedule] = append(pool.byEndpoint[epSchedule], body)
+	}
+	return pool
+}
+
+// pick maps a request index onto (endpoint, payload), the deterministic
+// mix: 60% infer (cycling a small pool, so the cache sees repeats),
+// 20% joint, 20% schedule.
+func (p *payloadPool) pick(idx int64) (int, []byte) {
+	ep := epInfer
+	switch idx % 10 {
+	case 6, 7:
+		ep = epJoint
+	case 8, 9:
+		ep = epSchedule
+	}
+	bodies := p.byEndpoint[ep]
+	return ep, bodies[int(idx/10)%len(bodies)]
+}
+
+// tally accumulates one worker's observations, merged after the run so
+// the hot loop takes no locks.
+type tally struct {
+	latencies [numEndpoints][]float64 // milliseconds
+	ok        [numEndpoints]int
+	rejected  int // 429 backpressure
+	failed    int
+	firstErr  string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bluload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target daemon address (host:port)")
+	seed := fs.Uint64("seed", 1, "payload and mix seed")
+	conc := fs.Int("c", 4, "concurrent closed-loop workers")
+	total := fs.Int64("n", 300, "total requests (ignored when -duration is set)")
+	duration := fs.Duration("duration", 0, "run for this long instead of a fixed count")
+	qps := fs.Float64("qps", 0, "paced request rate (0 = unpaced)")
+	out := fs.String("o", "", "write an obs.BenchReport JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *conc < 1 {
+		return fmt.Errorf("-c must be positive")
+	}
+	base := "http://" + *addr
+
+	// Liveness gate before spending the measurement window.
+	if err := checkHealth(base); err != nil {
+		return err
+	}
+
+	pool := buildPool(*seed)
+	client := &http.Client{Timeout: 60 * time.Second}
+	var next atomic.Int64
+	start := time.Now()
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = start.Add(*duration)
+		*total = 1 << 62
+	}
+
+	tallies := make([]tally, *conc)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(tl *tally) {
+			defer wg.Done()
+			for {
+				idx := next.Add(1) - 1
+				if idx >= *total {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				if *qps > 0 {
+					// Pace against the global schedule: request idx is due at
+					// start + idx/qps.
+					due := start.Add(time.Duration(float64(idx) / *qps * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				ep, body := pool.pick(idx)
+				t0 := time.Now()
+				resp, err := client.Post(base+epPaths[ep], "application/json", bytes.NewReader(body))
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				if err != nil {
+					tl.failed++
+					if tl.firstErr == "" {
+						tl.firstErr = err.Error()
+					}
+					continue
+				}
+				rbody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					tl.ok[ep]++
+					tl.latencies[ep] = append(tl.latencies[ep], lat)
+				case http.StatusTooManyRequests:
+					tl.rejected++
+				default:
+					tl.failed++
+					if tl.firstErr == "" {
+						tl.firstErr = fmt.Sprintf("%s: %d %s", epPaths[ep], resp.StatusCode, bytes.TrimSpace(rbody))
+					}
+				}
+			}
+		}(&tallies[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var merged tally
+	for i := range tallies {
+		tl := &tallies[i]
+		for ep := 0; ep < numEndpoints; ep++ {
+			merged.ok[ep] += tl.ok[ep]
+			merged.latencies[ep] = append(merged.latencies[ep], tl.latencies[ep]...)
+		}
+		merged.rejected += tl.rejected
+		merged.failed += tl.failed
+		if merged.firstErr == "" {
+			merged.firstErr = tl.firstErr
+		}
+	}
+	// Concatenation order above follows worker index, not completion
+	// time; sort so percentile output is stable run to run.
+	for ep := 0; ep < numEndpoints; ep++ {
+		sort.Float64s(merged.latencies[ep])
+	}
+
+	totalOK := 0
+	for ep := 0; ep < numEndpoints; ep++ {
+		totalOK += merged.ok[ep]
+	}
+	fmt.Printf("bluload: %d ok, %d rejected (429), %d failed in %v (%.1f req/s)\n",
+		totalOK, merged.rejected, merged.failed, wall.Round(time.Millisecond),
+		float64(totalOK)/wall.Seconds())
+
+	report := &obs.BenchReport{
+		GoVersion:   runtime.Version(),
+		GitDescribe: obs.GitDescribe(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note:        fmt.Sprintf("bluload seed=%d c=%d against %s", *seed, *conc, *addr),
+	}
+	for ep := 0; ep < numEndpoints; ep++ {
+		lats := merged.latencies[ep]
+		if len(lats) == 0 {
+			fmt.Printf("  %-16s no completed requests\n", epNames[ep])
+			continue
+		}
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		mean := sum / float64(len(lats))
+		p50, _ := stats.Percentile(lats, 50)
+		p90, _ := stats.Percentile(lats, 90)
+		p99, _ := stats.Percentile(lats, 99)
+		fmt.Printf("  %-16s n=%-5d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms\n",
+			epNames[ep], len(lats), mean, p50, p90, p99)
+		report.Entries = append(report.Entries, obs.BenchEntry{
+			Name:       epNames[ep],
+			Iterations: len(lats),
+			NsPerOp:    int64(mean * float64(time.Millisecond)),
+			MsPerOp:    mean,
+		})
+	}
+
+	// Embed the server's own metric snapshot: the serve_cache_* and
+	// queue counters live in the daemon process, and this is how they
+	// reach the bench file for ci.sh to assert on.
+	if snap, err := fetchMetrics(base); err != nil {
+		fmt.Fprintf(os.Stderr, "bluload: metrics fetch failed: %v\n", err)
+	} else {
+		report.Metrics = *snap
+	}
+
+	if *out != "" {
+		if err := report.Validate(); err != nil {
+			return fmt.Errorf("report invalid: %w", err)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bluload: report written to %s\n", *out)
+	}
+
+	if merged.failed > 0 {
+		return fmt.Errorf("%d requests failed (first: %s)", merged.failed, merged.firstErr)
+	}
+	if totalOK == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	return nil
+}
+
+func checkHealth(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Status != "ok" {
+		return fmt.Errorf("daemon unhealthy: status %q (%v)", h.Status, err)
+	}
+	return nil
+}
+
+func fetchMetrics(base string) (*obs.Snapshot, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -151,7 +151,7 @@ func BuildPlan(opts PlanOptions) (*Plan, error) {
 
 	for !done() {
 		if len(plan.Subframes) >= maxSF {
-			return nil, fmt.Errorf("access: plan exceeded %d subframes (N=%d K=%d T=%d)", maxSF, n, t, k)
+			return nil, fmt.Errorf("access: plan exceeded %d subframes (N=%d K=%d T=%d)", maxSF, n, k, t)
 		}
 		var sel []int
 		in := make([]bool, n)

@@ -2,6 +2,7 @@ package access
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -267,5 +268,19 @@ func TestPlanProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBuildPlanOverBudgetErrorMessage(t *testing.T) {
+	// Regression: the over-budget error's format string says
+	// (N=%d K=%d T=%d) but the arguments were passed as (n, t, k),
+	// swapping K and T in the reported message.
+	_, err := BuildPlan(PlanOptions{N: 9, K: 2, T: 7, MaxSubframes: 1})
+	if err == nil {
+		t.Fatal("plan within an impossible 1-subframe budget")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "N=9 K=2 T=7") {
+		t.Errorf("over-budget error reports wrong parameters: %q", msg)
 	}
 }

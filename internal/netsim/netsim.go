@@ -82,7 +82,11 @@ func RunBatch(cfg BatchConfig) ([]TopologyResult, error) {
 }
 
 func runOne(cfg BatchConfig, idx int) (TopologyResult, error) {
-	r := rng.New(cfg.Seed + uint64(idx)*0x9E3779B97F4A7C15)
+	// Per-topology streams are derived with SplitIndex, not by adding an
+	// idx-scaled stride to the seed: with the additive scheme two batches
+	// whose seeds differ by a multiple of the stride replay each other's
+	// topology streams shifted by an index.
+	r := rng.New(cfg.Seed).SplitIndex("topology", idx)
 	nodes := cfg.NodeSteps[idx%len(cfg.NodeSteps)]
 
 	sc, err := topology.NewScenario(topology.Config{

@@ -1,0 +1,693 @@
+// Package serve exposes the BLU controller as an online HTTP/JSON
+// service — the deployment shape of the paper's §3.7 refresh loop
+// (measurements in, blueprint and speculative schedule out) scaled to
+// request streams:
+//
+//	POST /v1/infer     measurements → inferred interference blueprint
+//	POST /v1/joint     topology + clear/blocked sets → joint access prob
+//	POST /v1/schedule  topology + rates/backlog → one subframe of grants
+//	GET  /healthz      liveness (+ drain state)
+//	GET  /metrics      JSON snapshot of the internal/obs registry
+//
+// The serving core has the shapes that transfer to any inference stack
+// (DESIGN.md §12):
+//
+//   - Coalescing: identical in-flight infer requests — keyed by a
+//     canonical digest of the clamped measurements and solver options —
+//     share one solver run, singleflight-style.
+//   - Caching: a bounded LRU over the same digest returns finished
+//     responses byte-identically without touching the solver.
+//   - Backpressure: compute work goes through a bounded queue; when it
+//     is full the server answers 429 + Retry-After instead of queueing
+//     unboundedly. Queue slots are released to workers running on the
+//     internal/parallel pool.
+//   - Deadlines: a per-request timeout_ms maps onto the existing
+//     blueprint.InferContext plumbing; expiry answers 504.
+//   - Graceful drain: Drain stops intake, finishes every in-flight
+//     request, stops the workers, and flushes a run manifest.
+//
+// The package is stdlib-only (plus the repo's internal packages), like
+// everything else in the tree.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"blu/internal/blueprint"
+	"blu/internal/joint"
+	"blu/internal/lte"
+	"blu/internal/obs"
+	"blu/internal/parallel"
+	"blu/internal/sched"
+)
+
+var (
+	obsRequests  = obs.GetCounter("serve_requests_total")
+	obsInfers    = obs.GetCounter("serve_infer_total")
+	obsJoints    = obs.GetCounter("serve_joint_total")
+	obsSchedules = obs.GetCounter("serve_schedule_total")
+	obsRejected  = obs.GetCounter("serve_queue_reject_total")
+	obsTimeouts  = obs.GetCounter("serve_timeout_total")
+	obsBadReq    = obs.GetCounter("serve_bad_request_total")
+	obsDrains    = obs.GetCounter("serve_drains_total")
+	obsQueueLen  = obs.GetGauge("serve_queue_depth")
+	obsLatency   = obs.GetHistogram("serve_latency_ms",
+		[]float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500})
+)
+
+// Config tunes the server. The zero value selects the defaults.
+type Config struct {
+	// Workers bounds the compute pool (0 = GOMAXPROCS).
+	Workers int
+	// SolverParallelism is blueprint.InferOptions.Parallelism applied to
+	// every solver run (default 1: the service takes its throughput from
+	// concurrent requests, not per-request fan-out; results are
+	// byte-identical either way).
+	SolverParallelism int
+	// QueueDepth bounds the work queue; submissions beyond it get 429
+	// (default 64).
+	QueueDepth int
+	// CacheEntries bounds the infer result cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s). MaxTimeout caps client-supplied deadlines
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// ManifestPath, when set, is where Drain flushes the run manifest.
+	ManifestPath string
+	// Tool and Args identify the process in the manifest (default
+	// "blud").
+	Tool string
+	Args []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.SolverParallelism <= 0 {
+		c.SolverParallelism = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Tool == "" {
+		c.Tool = "blud"
+	}
+	return c
+}
+
+// job is one queued unit of compute work. fn runs on a pool worker
+// under the request context; done is closed when the job has run (or
+// been abandoned because its context died while queued).
+type job struct {
+	ctx  context.Context
+	fn   func(ctx context.Context)
+	done chan struct{}
+}
+
+func (j *job) run() {
+	defer close(j.done)
+	// A job whose request already timed out while queued is dead weight:
+	// skip the solve, the waiting handler (if any) maps the empty result
+	// to 504.
+	if j.ctx.Err() != nil {
+		return
+	}
+	j.fn(j.ctx)
+}
+
+// Server is the BLU serving daemon core. Construct with New, expose
+// Handler over any http.Server (or use Listen), and always call Drain
+// to stop the worker pool.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *lruCache
+	flights  *flightGroup
+	manifest *obs.Manifest
+
+	queue    chan *job
+	poolDone chan struct{}
+
+	// drainMu guards the draining flag against in-flight submissions:
+	// submit holds it shared while enqueueing, Drain exclusively while
+	// flipping the flag, so after Drain observes the flag set no new job
+	// can enter the queue and jobs.Wait covers everything submitted.
+	drainMu  sync.RWMutex
+	draining bool
+	jobs     sync.WaitGroup
+
+	// httpSrv/listener are set by Listen; Drain shuts them down first.
+	httpSrv  *http.Server
+	listener net.Listener
+	serveErr chan error
+}
+
+// New builds a Server and starts its worker pool. Callers must
+// eventually call Drain (even when only using Handler with a test
+// server) so the pool exits.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		cache:    newLRUCache(cfg.CacheEntries),
+		flights:  newFlightGroup(),
+		manifest: obs.NewManifest(cfg.Tool, cfg.Args),
+		queue:    make(chan *job, cfg.QueueDepth),
+		poolDone: make(chan struct{}),
+		serveErr: make(chan error, 1),
+	}
+	s.mux.HandleFunc("/v1/infer", s.instrument(obsInfers, s.handleInfer))
+	s.mux.HandleFunc("/v1/joint", s.instrument(obsJoints, s.handleJoint))
+	s.mux.HandleFunc("/v1/schedule", s.instrument(obsSchedules, s.handleSchedule))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+
+	// The pool: Workers long-lived drain loops over the shared queue,
+	// fanned out on the repo's one worker-pool primitive.
+	workers := parallel.Workers(cfg.Workers)
+	go func() {
+		defer close(s.poolDone)
+		_ = parallel.ForEach(context.Background(), workers, workers, func(int) error {
+			for j := range s.queue {
+				j.run()
+				s.jobs.Done()
+				obsQueueLen.Set(float64(len(s.queue)))
+			}
+			return nil
+		})
+	}()
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds addr (":0" picks a free port), serves Handler on it in
+// the background, and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Drain gracefully stops the server: stop accepting requests (when
+// Listen was used, http.Server.Shutdown waits for every in-flight
+// handler), run every already-queued job to completion, stop the
+// worker pool, and flush the run manifest. No accepted request is
+// dropped. Drain is idempotent only in effect, not in metrics; call it
+// once.
+func (s *Server) Drain(ctx context.Context) error {
+	obsDrains.Inc()
+	var shutdownErr error
+	if s.httpSrv != nil {
+		// Stops the listener and blocks until in-flight handlers return —
+		// and a handler only returns after its job finished, so every
+		// accepted compute request completes before intake is declared
+		// closed.
+		shutdownErr = s.httpSrv.Shutdown(ctx)
+	}
+	s.drainMu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !alreadyDraining {
+		s.jobs.Wait() // every submitted job has run
+		close(s.queue)
+	}
+	select {
+	case <-s.poolDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-s.serveErr:
+		if shutdownErr == nil {
+			shutdownErr = err
+		}
+	default:
+	}
+	if s.cfg.ManifestPath != "" {
+		s.manifest.Finish()
+		if err := s.manifest.Write(s.cfg.ManifestPath); err != nil && shutdownErr == nil {
+			shutdownErr = err
+		}
+	}
+	return shutdownErr
+}
+
+// errQueueFull is submit's backpressure signal, mapped to 429.
+var errQueueFull = errors.New("serve: work queue full")
+
+// errDraining rejects submissions after Drain started (only reachable
+// when Handler is mounted on an externally-owned http.Server), mapped
+// to 503.
+var errDraining = errors.New("serve: draining")
+
+// submit enqueues fn and waits for it to finish or for ctx to die.
+// A full queue fails fast with errQueueFull — bounded memory is the
+// contract, not unbounded queueing.
+func (s *Server) submit(ctx context.Context, fn func(context.Context)) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return errDraining
+	}
+	// Add must precede the send: a worker may run the job and call Done
+	// before this goroutine resumes after the enqueue.
+	s.jobs.Add(1)
+	select {
+	case s.queue <- j:
+		s.drainMu.RUnlock()
+		obsQueueLen.Set(float64(len(s.queue)))
+	default:
+		s.jobs.Done()
+		s.drainMu.RUnlock()
+		return errQueueFull
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		// The job stays queued; its run() sees the dead context and
+		// skips the solve. The handler answers 504 now.
+		return ctx.Err()
+	}
+}
+
+// requestContext derives the per-request deadline: timeout_ms when
+// given (capped at MaxTimeout), the server default otherwise.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// instrument wraps a compute handler with the request counter, the
+// POST gate, the body-size cap, and the latency histogram.
+func (s *Server) instrument(counter *obs.Counter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obsRequests.Inc()
+		counter.Inc()
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+		start := time.Now()
+		h(w, r)
+		obsLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, status, body)
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	switch status {
+	case http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusMethodNotAllowed:
+		obsBadReq.Inc()
+	case http.StatusTooManyRequests:
+		obsRejected.Inc()
+		// The queue drains at solver speed; a second is a sane first
+		// retry horizon for a shed request.
+		w.Header().Set("Retry-After", "1")
+	case http.StatusGatewayTimeout:
+		obsTimeouts.Inc()
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// errorBody renders the body writeError would send, for publishing a
+// failure through a coalesced flight.
+func errorBody(msg string) []byte {
+	body, _ := json.Marshal(ErrorResponse{Error: msg})
+	return body
+}
+
+// decode parses a JSON request body strictly enough to catch malformed
+// payloads (bad JSON, trailing garbage).
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON: %v", err)
+	}
+	if dec.More() {
+		return errors.New("bad JSON: trailing data")
+	}
+	return nil
+}
+
+// submitErrToStatus maps a submit failure onto its response.
+func submitErrToStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests, "work queue full, retry later"
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "server draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "request deadline exceeded"
+	default:
+		return http.StatusGatewayTimeout, "request aborted: " + err.Error()
+	}
+}
+
+// handleInfer is POST /v1/infer: measurements → inferred blueprint,
+// with digest-keyed caching and coalescing in front of the solver.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m, err := req.Measurements.ToMeasurements()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts := req.Options.ToInferOptions()
+	opts.Parallelism = s.cfg.SolverParallelism
+	key := digestInfer(m, opts)
+
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Blu-Cache", "hit")
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	w.Header().Set("X-Blu-Cache", "miss")
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	f, leader := s.flights.join(key)
+	if !leader {
+		// Coalesced: wait for the leader's published result.
+		select {
+		case <-f.done:
+			writeBody(w, f.status, f.body)
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		}
+		return
+	}
+
+	var res *blueprint.InferResult
+	var inferErr error
+	status, body := http.StatusOK, []byte(nil)
+	if err := s.submit(ctx, func(ctx context.Context) {
+		res, inferErr = blueprint.InferContext(ctx, m, opts)
+	}); err != nil {
+		st, msg := submitErrToStatus(err)
+		status, body = st, errorBody(msg)
+	} else if inferErr != nil {
+		switch {
+		case errors.Is(inferErr, blueprint.ErrAborted):
+			status, body = http.StatusGatewayTimeout, errorBody("inference aborted: deadline exceeded")
+		default:
+			status, body = http.StatusUnprocessableEntity, errorBody(inferErr.Error())
+		}
+	} else if res == nil {
+		// The job was skipped because the context died while queued.
+		status, body = http.StatusGatewayTimeout, errorBody("request deadline exceeded")
+	} else {
+		resp := InferResponse{
+			Topology:     TopologyToWire(res.Topology),
+			Violation:    res.Violation,
+			MaxViolation: res.MaxViolation,
+			Converged:    res.Converged,
+			Starts:       res.Starts,
+			Iterations:   res.Iterations,
+		}
+		body, _ = json.Marshal(resp)
+		s.cache.put(key, body)
+	}
+	// Publish to followers before answering, so the flight never
+	// outlives its leader.
+	s.flights.finish(key, f, status, body)
+	if status == http.StatusTooManyRequests {
+		writeError(w, status, "work queue full, retry later")
+		return
+	}
+	if status == http.StatusGatewayTimeout {
+		obsTimeouts.Inc()
+	}
+	writeBody(w, status, body)
+}
+
+// handleJoint is POST /v1/joint: topology + clear/blocked sets →
+// P(clear, blocked̄) via the §3.6 recursive-conditioning calculator.
+func (s *Server) handleJoint(w http.ResponseWriter, r *http.Request) {
+	var req JointRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	topo, err := req.Topology.ToTopology()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	toSet := func(name string, ids []int) (blueprint.ClientSet, error) {
+		var set blueprint.ClientSet
+		for _, c := range ids {
+			if c < 0 || c >= topo.N {
+				return 0, fmt.Errorf("%s client %d out of range for n=%d", name, c, topo.N)
+			}
+			set = set.Add(c)
+		}
+		return set, nil
+	}
+	clear, err := toSet("clear", req.Clear)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	blocked, err := toSet("blocked", req.Blocked)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !clear.Intersect(blocked).Empty() {
+		writeError(w, http.StatusBadRequest, "clear and blocked sets overlap")
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var resp JointResponse
+	ran := false
+	if err := s.submit(ctx, func(context.Context) {
+		calc := joint.NewCalculator(topo)
+		resp.Prob = calc.Prob(clear, blocked)
+		resp.Marginals = make([]float64, topo.N)
+		for i := range resp.Marginals {
+			resp.Marginals[i] = calc.Marginal(i)
+		}
+		ran = true
+	}); err != nil {
+		st, msg := submitErrToStatus(err)
+		writeError(w, st, msg)
+		return
+	}
+	if !ran {
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSchedule is POST /v1/schedule: topology + per-UE rates (and
+// optional backlog / PF warm start) → one subframe of uplink grants
+// from the selected scheduler.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	topo, err := req.Topology.ToTopology()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := topo.N
+	if len(req.Rates) != n {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("rates cover %d UEs, topology has %d", len(req.Rates), n))
+		return
+	}
+	if req.NumRB < 1 || req.NumRB > 1<<12 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("num_rb=%d out of range", req.NumRB))
+		return
+	}
+	if req.M < 1 || req.M > n {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("m=%d out of range [1,%d]", req.M, n))
+		return
+	}
+	for ue, rr := range req.Rates {
+		if len(rr) != 1 && len(rr) != req.NumRB {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("rates[%d] has %d entries, want 1 or num_rb=%d", ue, len(rr), req.NumRB))
+			return
+		}
+	}
+	if req.Backlog != nil && len(req.Backlog) != n {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("backlog covers %d UEs, topology has %d", len(req.Backlog), n))
+		return
+	}
+	flavor := req.Scheduler
+	if flavor == "" {
+		flavor = "blu"
+	}
+
+	env := sched.Env{
+		NumUE: n,
+		NumRB: req.NumRB,
+		M:     req.M,
+		K:     req.K,
+		Alpha: req.Alpha,
+		Rate: func(ue, b int) float64 {
+			rr := req.Rates[ue]
+			if len(rr) == 1 {
+				return rr[0]
+			}
+			return rr[b]
+		},
+	}
+	if req.Backlog != nil {
+		env.Backlog = func(ue int) float64 { return req.Backlog[ue] }
+	}
+
+	var scheduler sched.Scheduler
+	warm := func(ws interface{ WarmStart([]float64) }) {
+		if req.AvgThroughput != nil {
+			ws.WarmStart(req.AvgThroughput)
+		}
+	}
+	switch flavor {
+	case "blu":
+		sp, err := sched.NewSpeculative(env, joint.NewCalculator(topo))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.OverFactor > 0 {
+			sp.OverFactor = req.OverFactor
+		}
+		warm(sp)
+		scheduler = sp
+	case "aa":
+		aa, err := sched.NewAccessAware(env, joint.NewCalculator(topo))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		warm(aa)
+		scheduler = aa
+	case "pf":
+		pf, err := sched.NewPF(env)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		warm(pf)
+		scheduler = pf
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown scheduler %q (want blu, aa, or pf)", flavor))
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var schedule *lte.Schedule
+	if err := s.submit(ctx, func(context.Context) {
+		schedule = scheduler.Schedule(0)
+	}); err != nil {
+		st, msg := submitErrToStatus(err)
+		writeError(w, st, msg)
+		return
+	}
+	if schedule == nil {
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	resp := ScheduleResponse{
+		RB:          make([][]int, len(schedule.RB)),
+		DistinctUEs: schedule.DistinctUEs(),
+		Scheduler:   flavor,
+	}
+	for b, ues := range schedule.RB {
+		if ues == nil {
+			resp.RB[b] = []int{}
+		} else {
+			resp.RB[b] = ues
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: status})
+}
+
+// handleMetrics is GET /metrics: the obs registry snapshot as JSON —
+// the same schema manifests embed, so load generators can attach it to
+// their bench reports verbatim.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Snap())
+}

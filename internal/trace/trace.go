@@ -82,7 +82,10 @@ func (t *Trace) Validate() error {
 		if !full.Contains(it.Edges) {
 			return fmt.Errorf("trace: station %d has edges %v outside UE range", k, it.Edges)
 		}
-		var prev int64 = -1
+		// prev starts at 0, not -1: busy intervals are offsets into the
+		// trace horizon, so a negative Start is structurally invalid (and
+		// would inflate the recomputed airtime after clipping).
+		var prev int64
 		for _, iv := range it.Busy {
 			if iv.Start < prev || iv.End < iv.Start {
 				return fmt.Errorf("trace: station %d busy intervals not sorted/valid", k)
@@ -130,7 +133,10 @@ func CombineInterference(base *Trace, extras ...*Trace) (*Trace, error) {
 		}
 	}
 	out.Label = base.Label + "+interference"
-	return out, nil
+	// Validate like CombineUEs does: a malformed extra (edges outside the
+	// UE range, unsorted busy intervals) must be rejected here, not
+	// silently propagated into emulation runs.
+	return out, out.Validate()
 }
 
 // CombineUEs emulates a larger UE topology for a given hidden-terminal
@@ -199,8 +205,17 @@ func clipInterference(it InterferenceTrace, horizonUS int64) InterferenceTrace {
 		if iv.Start >= horizonUS {
 			break
 		}
+		// Clamp into [0, horizonUS): a negative Start would otherwise
+		// contribute phantom duration and inflate the recomputed Airtime
+		// above the station's true busy fraction.
+		if iv.Start < 0 {
+			iv.Start = 0
+		}
 		if iv.End > horizonUS {
 			iv.End = horizonUS
+		}
+		if iv.End <= iv.Start {
+			continue
 		}
 		out.Busy = append(out.Busy, iv)
 		busyTotal += iv.Duration()

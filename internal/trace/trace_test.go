@@ -230,3 +230,59 @@ func TestClipRecomputesAirtime(t *testing.T) {
 		t.Errorf("airtime = %v, want 0.6", clipped.Airtime)
 	}
 }
+
+func TestValidateRejectsNegativeStart(t *testing.T) {
+	tr := sampleTrace(2, 10)
+	// Regression: prev used to start at -1, so a first interval with
+	// Start == -1 slipped through validation.
+	tr.Interference[0].Busy = []wifi.Interval{{Start: -1, End: 500}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative busy-interval start")
+	}
+	tr.Interference[0].Busy = []wifi.Interval{{Start: -500, End: 200}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative busy-interval start")
+	}
+}
+
+func TestClipClampsNegativeStart(t *testing.T) {
+	// Regression: a negative start contributed phantom duration, so the
+	// recomputed Airtime exceeded the true within-horizon busy fraction.
+	it := InterferenceTrace{
+		Edges: blueprint.NewClientSet(0),
+		Busy:  []wifi.Interval{{Start: -500, End: 500}},
+	}
+	clipped := clipInterference(it, 1000)
+	if len(clipped.Busy) != 1 || clipped.Busy[0].Start != 0 || clipped.Busy[0].End != 500 {
+		t.Errorf("clip = %+v, want [{0 500}]", clipped.Busy)
+	}
+	if math.Abs(clipped.Airtime-0.5) > 1e-12 {
+		t.Errorf("airtime = %v, want 0.5 (not inflated above busy fraction)", clipped.Airtime)
+	}
+	// An interval entirely before the horizon start vanishes.
+	it.Busy = []wifi.Interval{{Start: -300, End: -100}, {Start: 100, End: 200}}
+	clipped = clipInterference(it, 1000)
+	if len(clipped.Busy) != 1 || clipped.Busy[0].Start != 100 {
+		t.Errorf("clip = %+v, want only the in-horizon interval", clipped.Busy)
+	}
+	if math.Abs(clipped.Airtime-0.1) > 1e-12 {
+		t.Errorf("airtime = %v, want 0.1", clipped.Airtime)
+	}
+}
+
+func TestCombineInterferenceRejectsMalformedExtra(t *testing.T) {
+	base := sampleTrace(2, 10)
+	extra := sampleTrace(2, 10)
+	// Edges outside the shared UE range: CombineUEs would reject this via
+	// Validate; CombineInterference used to return it silently.
+	extra.Interference[0].Edges = blueprint.NewClientSet(0, 5)
+	if _, err := CombineInterference(base, extra); err == nil {
+		t.Fatal("CombineInterference accepted an extra with out-of-range edges")
+	}
+	// Unsorted busy intervals are rejected too.
+	extra = sampleTrace(2, 10)
+	extra.Interference[0].Busy = []wifi.Interval{{Start: 2000, End: 2600}, {Start: 0, End: 500}}
+	if _, err := CombineInterference(base, extra); err == nil {
+		t.Fatal("CombineInterference accepted an extra with unsorted busy intervals")
+	}
+}
