@@ -43,16 +43,19 @@ go run ./cmd/blumanifest \
   "$obsdir/manifest.json"
 
 echo "== kernel smoke =="
-# The scheduler hot path must stay allocation-free in steady state and
-# byte-identical across cache bounds: re-run the AllocsPerRun ceilings
-# and the golden/cache-invariance trace tests, then a short blubench
-# scheduler run whose BENCH JSON must pass blumanifest's schema check
-# (parse, invariants, round-trip) with all three scheduler entries and
-# nonzero cache-hit counters present.
+# The scheduler and inference hot paths must stay allocation-free in
+# steady state and byte-identical across cache bounds and parallelism:
+# re-run the AllocsPerRun ceilings and the golden trace tests for both
+# kernels plus the binary-codec ceilings, then a short blubench
+# scheduler+codec run whose BENCH JSON must pass blumanifest's schema
+# check (parse, invariants, round-trip) with all scheduler and codec
+# entries and nonzero cache-hit counters present.
 go test $short -run 'TestScheduleSteadyStateAllocs|TestScheduleTraceGolden|TestScheduleTraceCacheBoundInvariance' ./internal/sched/
+go test $short -run 'TestInferAllocCeiling|TestInferTraceGolden|TestDeltaSpecializationsExact' ./internal/blueprint/
+go test $short -run 'TestCodecAllocCeiling|TestBinaryCodec' ./internal/serve/
 go run ./cmd/blubench -sched -o "$obsdir/bench_sched.json" >/dev/null
 go run ./cmd/blumanifest -bench \
-  -require-entry Schedule/PF,Schedule/AA,Schedule/BLU \
+  -require-entry Schedule/PF,Schedule/AA,Schedule/BLU,Codec/JSON,Codec/Binary \
   -require sched_blu_cache_hit_total,sched_joint_cache_hit_total,sched_blu_scratch_reuse_total \
   "$obsdir/bench_sched.json"
 
@@ -101,6 +104,15 @@ go run ./cmd/blumanifest -bench \
   -require-entry Serve/infer,Serve/joint,Serve/schedule \
   -require serve_requests_total,serve_cache_hit_total \
   "$obsdir/bench_serve.json"
+# A second, binary-codec run against the same daemon: the infer stream
+# switches to the length-prefixed frames (request and response), which
+# must negotiate cleanly under race instrumentation and show up in the
+# daemon's serve_binary_total counter.
+"$obsdir/bluload" -addr "$addr" -seed 7 -c 4 -n 120 -codec binary -o "$obsdir/bench_serve_bin.json" >/dev/null
+go run ./cmd/blumanifest -bench \
+  -require-entry Serve/infer \
+  -require serve_requests_total,serve_binary_total \
+  "$obsdir/bench_serve_bin.json"
 kill -TERM "$blud_pid"
 wait "$blud_pid"
 blud_pid=""

@@ -9,11 +9,12 @@
 //
 //	blubench [-o BENCH_baseline.json] [-sched] [-metrics file] [-pprof addr]
 //
-// With -sched only the scheduler section runs — a seconds-scale subset
-// CI uses as its kernel-smoke gate (the full inference sweep takes
-// minutes). The determinism test suite guarantees every parallelism
-// setting returns the identical topology, so each speedup line is a
-// pure wall-clock comparison of the same computation.
+// With -sched only the scheduler and wire-codec sections run — a
+// seconds-scale subset CI uses as its kernel-smoke gate (the full
+// inference sweep takes minutes). The determinism test suite
+// guarantees every parallelism setting returns the identical topology,
+// so each speedup line is a pure wall-clock comparison of the same
+// computation.
 //
 // The obs layer is enabled for the run, so the written baseline embeds
 // the metric snapshot (inference starts/iterations, MCMC acceptance,
@@ -36,6 +37,7 @@ import (
 	"blu/internal/mcmc"
 	"blu/internal/obs"
 	"blu/internal/rng"
+	"blu/internal/serve"
 )
 
 func main() {
@@ -48,7 +50,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("blubench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_baseline.json", "output file")
-	schedOnly := fs.Bool("sched", false, "run only the scheduler-kernel section (fast; CI smoke)")
+	schedOnly := fs.Bool("sched", false, "run only the scheduler-kernel and codec sections (fast; CI smoke)")
 	metrics := fs.String("metrics", "", "also write a JSON run manifest to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -154,6 +156,9 @@ func run(args []string) error {
 	if err := recordSchedulers(record); err != nil {
 		return err
 	}
+	if err := recordCodecs(record); err != nil {
+		return err
+	}
 
 	base.Metrics = obs.Snap()
 	if err := base.Validate(); err != nil {
@@ -234,6 +239,65 @@ func recordSchedulers(record func(string, func(int) error) obs.BenchEntry) error
 			return nil
 		})
 	}
+	return nil
+}
+
+// recordCodecs measures the infer endpoint's wire tax for each codec:
+// one op is a full codec round trip — encode request, decode request,
+// encode response, decode response — on a 16-client payload with a
+// dense pair list, the shape bluload drives at the daemon. The
+// Codec/JSON vs Codec/Binary ratio is the serialization share a binary
+// client saves; it runs in the -sched fast section so CI tracks it.
+func recordCodecs(record func(string, func(int) error) obs.BenchEntry) error {
+	truth := randomTopo(16, 8, 11)
+	mw := serve.MeasurementsWire{N: truth.N, P: make([]float64, truth.N)}
+	for i := 0; i < truth.N; i++ {
+		mw.P[i] = truth.AccessProb(i)
+		for j := i + 1; j < truth.N; j++ {
+			mw.Pairs = append(mw.Pairs, serve.PairProb{I: i, J: j, P: truth.PairProb(i, j)})
+		}
+	}
+	req := &serve.InferRequest{Measurements: mw, Options: serve.InferOptionsWire{Seed: 11}}
+	resp := &serve.InferResponse{
+		Topology:     serve.TopologyToWire(truth),
+		Violation:    0.004,
+		MaxViolation: 0.011,
+		Converged:    true,
+		Starts:       25,
+		Iterations:   900,
+	}
+
+	record("Codec/JSON", func(int) error {
+		reqBody, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		var r serve.InferRequest
+		if err := json.Unmarshal(reqBody, &r); err != nil {
+			return err
+		}
+		respBody, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		var p serve.InferResponse
+		return json.Unmarshal(respBody, &p)
+	})
+	record("Codec/Binary", func(int) error {
+		reqBody, err := serve.EncodeInferRequest(req)
+		if err != nil {
+			return err
+		}
+		if _, err := serve.DecodeInferRequest(reqBody); err != nil {
+			return err
+		}
+		respBody, err := serve.EncodeInferResponse(resp)
+		if err != nil {
+			return err
+		}
+		_, err = serve.DecodeInferResponse(respBody)
+		return err
+	})
 	return nil
 }
 

@@ -3,6 +3,13 @@
 // (POST /v1/joint), and subframe scheduling (POST /v1/schedule), plus
 // /healthz and a /metrics snapshot of the obs registry.
 //
+// The infer endpoint also speaks a compact length-prefixed binary
+// codec: send the request with
+// "Content-Type: application/x-blu-binary" and/or ask for a binary
+// response via the Accept header (see internal/serve/codec.go for the
+// frame spec; bluload -codec binary drives it). Errors are always
+// JSON.
+//
 // Usage:
 //
 //	blud [flags]

@@ -19,6 +19,10 @@
 //	-n n         total requests (default 300; ignored when -duration set)
 //	-duration d  run for a wall-clock window instead of a fixed count
 //	-qps q       paced request rate (0 = unpaced closed loop)
+//	-codec c     infer wire codec: json (default) or binary — binary
+//	             sends serve's length-prefixed frames and asks for them
+//	             back via Accept, so comparing the two runs isolates
+//	             the JSON tax (joint/schedule stay JSON either way)
 //	-o file      write an obs.BenchReport JSON (entries Serve/infer,
 //	             Serve/joint, Serve/schedule; the server's /metrics
 //	             snapshot is embedded so its serve_cache_* counters ride
@@ -78,8 +82,11 @@ type payloadPool struct {
 // buildPool synthesizes the corpus from seed alone. Topologies are
 // random hidden-terminal layouts; infer measurements are the analytic
 // access distributions of a truth topology, so every infer request is
-// a well-posed instance the solver can actually invert.
-func buildPool(seed uint64) *payloadPool {
+// a well-posed instance the solver can actually invert. With
+// binaryInfer the infer bodies are serve's binary frames instead of
+// JSON — the same requests byte-for-byte after decoding, so the two
+// codecs hit identical cache/coalescing keys on the server.
+func buildPool(seed uint64, binaryInfer bool) *payloadPool {
 	r := rng.New(seed).Split("payloads")
 	pool := &payloadPool{}
 	const inferPayloads, jointPayloads, schedPayloads = 8, 16, 16
@@ -111,10 +118,16 @@ func buildPool(seed uint64) *payloadPool {
 				mw.Pairs = append(mw.Pairs, serve.PairProb{I: i, J: j, P: topo.PairProb(i, j)})
 			}
 		}
-		body, _ := json.Marshal(serve.InferRequest{
+		req := serve.InferRequest{
 			Measurements: mw,
 			Options:      serve.InferOptionsWire{Seed: ri.Uint64()},
-		})
+		}
+		var body []byte
+		if binaryInfer {
+			body, _ = serve.EncodeInferRequest(&req)
+		} else {
+			body, _ = json.Marshal(req)
+		}
 		pool.byEndpoint[epInfer] = append(pool.byEndpoint[epInfer], body)
 	}
 
@@ -186,6 +199,7 @@ func run(args []string) error {
 	total := fs.Int64("n", 300, "total requests (ignored when -duration is set)")
 	duration := fs.Duration("duration", 0, "run for this long instead of a fixed count")
 	qps := fs.Float64("qps", 0, "paced request rate (0 = unpaced)")
+	codec := fs.String("codec", "json", "infer wire codec: json or binary")
 	out := fs.String("o", "", "write an obs.BenchReport JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -196,6 +210,10 @@ func run(args []string) error {
 	if *conc < 1 {
 		return fmt.Errorf("-c must be positive")
 	}
+	if *codec != "json" && *codec != "binary" {
+		return fmt.Errorf("-codec must be json or binary, got %q", *codec)
+	}
+	binaryInfer := *codec == "binary"
 	base := "http://" + *addr
 
 	// Liveness gate before spending the measurement window.
@@ -203,7 +221,7 @@ func run(args []string) error {
 		return err
 	}
 
-	pool := buildPool(*seed)
+	pool := buildPool(*seed, binaryInfer)
 	client := &http.Client{Timeout: 60 * time.Second}
 	var next atomic.Int64
 	start := time.Now()
@@ -237,7 +255,14 @@ func run(args []string) error {
 				}
 				ep, body := pool.pick(idx)
 				t0 := time.Now()
-				resp, err := client.Post(base+epPaths[ep], "application/json", bytes.NewReader(body))
+				hreq, _ := http.NewRequest(http.MethodPost, base+epPaths[ep], bytes.NewReader(body))
+				if ep == epInfer && binaryInfer {
+					hreq.Header.Set("Content-Type", serve.ContentTypeBinary)
+					hreq.Header.Set("Accept", serve.ContentTypeBinary)
+				} else {
+					hreq.Header.Set("Content-Type", "application/json")
+				}
+				resp, err := client.Do(hreq)
 				lat := float64(time.Since(t0)) / float64(time.Millisecond)
 				if err != nil {
 					tl.failed++
@@ -297,7 +322,7 @@ func run(args []string) error {
 		GoVersion:   runtime.Version(),
 		GitDescribe: obs.GitDescribe(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Note:        fmt.Sprintf("bluload seed=%d c=%d against %s", *seed, *conc, *addr),
+		Note:        fmt.Sprintf("bluload seed=%d c=%d codec=%s against %s", *seed, *conc, *codec, *addr),
 	}
 	for ep := 0; ep < numEndpoints; ep++ {
 		lats := merged.latencies[ep]

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"blu/internal/obs"
 	"blu/internal/parallel"
@@ -19,6 +20,7 @@ var (
 	obsInferStarts  = obs.GetCounter("blueprint_starts_total")
 	obsInferIters   = obs.GetCounter("blueprint_repair_iterations_total")
 	obsConverged    = obs.GetCounter("blueprint_converged_total")
+	obsScratchReuse = obs.GetCounter("blueprint_scratch_reuse_total")
 	obsLastViol     = obs.GetGauge("blueprint_last_violation")
 	obsLastMaxViol  = obs.GetGauge("blueprint_last_max_violation")
 	obsResidualHist = obs.GetHistogram("blueprint_violation_residual",
@@ -100,7 +102,8 @@ func (o InferOptions) withDefaults(n int) InferOptions {
 // InferResult reports the outcome of topology inference.
 type InferResult struct {
 	// Topology is the inferred blueprint, normalized (merged duplicate
-	// edge sets, sorted).
+	// edge sets, sorted). It is freshly allocated per call and never
+	// aliases solver scratch, so callers may retain it indefinitely.
 	Topology *Topology
 	// Violation is the total residual constraint violation of the
 	// returned topology in the −log domain.
@@ -183,14 +186,16 @@ func InferContext(ctx context.Context, m *Measurements, opts InferOptions) (*Inf
 		return nil, fmt.Errorf("%w: %w", ErrAborted, err)
 	}
 	if probe.bestTotal <= opts.Tolerance && len(probe.bestHTs) == 0 {
-		return finishInfer(target, probe, opts, 1, probeIters), nil
+		return finishInfer(target, solution{total: probe.bestTotal, hts: probe.bestHTs}, opts, 1, probeIters), nil
 	}
 
 	// Fan out: every start — structured or random — together with its
 	// iterated-local-search chain is one independent task whose rng
 	// streams depend only on (Seed, task index), so each task computes
 	// the same chain on any worker in any order. Results land in slots
-	// indexed by task.
+	// indexed by task. Each task owns one scratch solver reused (reset,
+	// not reallocated) across its whole perturbation chain; only small
+	// detached snapshots survive the task.
 	nTasks := len(structured) + opts.RandomStarts
 	chains := make([]chainResult, nTasks)
 	err := parallel.ForEach(ctx, opts.Parallelism, nTasks, func(idx int) error {
@@ -224,22 +229,34 @@ func InferContext(ctx context.Context, m *Measurements, opts InferOptions) (*Inf
 	// comparison on (violation band, terminal count, violation), and
 	// replacing only on strictly-better keeps the lowest-index winner on
 	// ties — the same winner a sequential scan would pick.
-	var best *solverState
+	var best solution
+	haveBest := false
 	starts, iters := 0, probeIters
 	for i := range chains {
 		cr := &chains[i]
 		starts += cr.starts
 		iters += cr.iters
-		if cr.best != nil && (best == nil || betterSolution(cr.best, best, opts.Tolerance)) {
-			best = cr.best
+		if cr.ok && (!haveBest || betterSolution(cr.sol.total, len(cr.sol.hts), best.total, len(best.hts), opts.Tolerance)) {
+			best = cr.sol
+			haveBest = true
 		}
 	}
 	return finishInfer(target, best, opts, starts, iters), nil
 }
 
+// solution is a solver snapshot detached from scratch: the best total
+// violation seen and the hidden-terminal set that achieved it. Chains
+// hand solutions (never live solver state) to the reduction, so scratch
+// reuse can never leak into a result.
+type solution struct {
+	total float64
+	hts   []ht
+}
+
 // chainResult is one start task's locally reduced outcome.
 type chainResult struct {
-	best   *solverState
+	sol    solution
+	ok     bool
 	starts int
 	iters  int
 }
@@ -248,13 +265,17 @@ type chainResult struct {
 // the initial topology, then up to maxPerturb rounds of perturb-and-
 // repair around the best state seen, keeping the chain-best solution.
 // initial, when non-nil, is an already-repaired solver reused as the
-// chain head (its iterations are accounted by the caller).
+// chain head (its iterations are accounted by the caller). The chain
+// owns exactly one solver: each perturbation round resets it in place
+// instead of allocating a fresh one.
 func runChain(ctx context.Context, target *Transformed, opts InferOptions, initial *solverState, start startTopo, maxPerturb int, pr *rng.Source) chainResult {
 	var cr chainResult
-	consider := func(s *solverState) {
+	record := func(s *solverState) {
 		cr.starts++
-		if cr.best == nil || betterSolution(s, cr.best, opts.Tolerance) {
-			cr.best = s
+		if !cr.ok || betterSolution(s.bestTotal, len(s.bestHTs), cr.sol.total, len(cr.sol.hts), opts.Tolerance) {
+			cr.sol.total = s.bestTotal
+			cr.sol.hts = append(cr.sol.hts[:0], s.bestHTs...)
+			cr.ok = true
 		}
 	}
 	s := initial
@@ -262,27 +283,39 @@ func runChain(ctx context.Context, target *Transformed, opts InferOptions, initi
 		s = newSolver(target, start, opts)
 		cr.iters += s.run(ctx, opts)
 	}
-	consider(s)
-	cur := s
+	record(s)
+	// The perturbation base: the best (total, topology) seen so far,
+	// copied out of the solver so resetting the scratch cannot corrupt
+	// the next perturbation's seed state.
+	curTotal := s.bestTotal
+	curHTs := append([]ht(nil), s.bestHTs...)
+	var perturbBuf startTopo
 	for p := 0; p < maxPerturb; p++ {
-		if cur.bestTotal <= opts.Tolerance || ctx.Err() != nil {
+		if curTotal <= opts.Tolerance || ctx.Err() != nil {
 			break
 		}
-		ns := newSolver(target, perturbStart(cur.bestHTs, pr), opts)
-		cr.iters += ns.run(ctx, opts)
-		consider(ns)
-		if ns.bestTotal < cur.bestTotal {
-			cur = ns
+		perturbBuf = perturbInto(perturbBuf, curHTs, pr)
+		s.reset(perturbBuf)
+		if obs.Enabled() {
+			obsScratchReuse.Inc()
+		}
+		cr.iters += s.run(ctx, opts)
+		record(s)
+		if s.bestTotal < curTotal {
+			curTotal = s.bestTotal
+			curHTs = append(curHTs[:0], s.bestHTs...)
 		}
 	}
 	return cr
 }
 
-// finishInfer converts the winning solver state into the reported
-// result: normalize, prune noise-fitting terminals, score residuals.
-func finishInfer(target *Transformed, best *solverState, opts InferOptions, starts, iters int) *InferResult {
+// finishInfer converts the winning solution into the reported result:
+// normalize, prune noise-fitting terminals, score residuals. The
+// returned topology is built fresh — it never shares backing arrays
+// with solver scratch or the winning chain's snapshot.
+func finishInfer(target *Transformed, best solution, opts InferOptions, starts, iters int) *InferResult {
 	res := &InferResult{Starts: starts, Iterations: iters}
-	topo := pruneInsignificant(target, best.topology().Normalize(), opts.Tolerance)
+	topo := pruneInsignificant(target, topologyFrom(target.N, best.hts).Normalize(), opts.Tolerance)
 	res.Topology = topo
 	res.Violation, res.MaxViolation = Residual(target, topo)
 	res.Converged = res.MaxViolation <= opts.Tolerance
@@ -303,10 +336,22 @@ func finishInfer(target *Transformed, best *solverState, opts InferOptions, star
 // pruneInsignificant enforces the minimal-h objective on the final
 // topology: any hidden terminal whose removal keeps every constraint
 // within tolerance (or no worse than it already is) is noise-fitting
-// and dropped, weakest first.
+// and dropped, weakest first. Candidate topologies and residual sums
+// live in two local buffers swapped back and forth, so the prune loop
+// costs no allocation per attempt; the returned topology is one of
+// those locals (or the input), never solver scratch.
 func pruneInsignificant(target *Transformed, topo *Topology, tol float64) *Topology {
-	_, curMax := Residual(target, topo)
+	var rs residualScratch
+	_, curMax := rs.residual(target, topo)
+	// A NaN residual (degenerate targets from unclamped measurements)
+	// poisons every comparison below to false, so the loop degrades to
+	// a no-op instead of pruning on garbage.
 	bound := math.Max(tol, curMax)
+	// Work on a detached copy: the buffer swap below would otherwise
+	// recycle the caller's topology as candidate scratch and overwrite
+	// its terminal slice in place.
+	topo = &Topology{N: topo.N, HTs: append([]HiddenTerminal(nil), topo.HTs...)}
+	cand := &Topology{N: topo.N}
 	for {
 		removed := false
 		weakest, weakestQ := -1, math.Inf(1)
@@ -320,11 +365,10 @@ func pruneInsignificant(target *Transformed, topo *Topology, tol float64) *Topol
 		}
 		for offset := 0; offset < len(topo.HTs); offset++ {
 			k := (weakest + offset) % len(topo.HTs)
-			cand := &Topology{N: topo.N, HTs: make([]HiddenTerminal, 0, len(topo.HTs)-1)}
-			cand.HTs = append(cand.HTs, topo.HTs[:k]...)
+			cand.HTs = append(cand.HTs[:0], topo.HTs[:k]...)
 			cand.HTs = append(cand.HTs, topo.HTs[k+1:]...)
-			if _, m := Residual(target, cand); m <= bound {
-				topo = cand
+			if _, m := rs.residual(target, cand); m <= bound {
+				topo, cand = cand, topo
 				removed = true
 				break
 			}
@@ -336,16 +380,26 @@ func pruneInsignificant(target *Transformed, topo *Topology, tol float64) *Topol
 	return topo
 }
 
-// betterSolution ranks candidate solutions: smaller violation first
-// (within tolerance bands so noise does not dominate), then fewer hidden
-// terminals, then strictly smaller violation.
-func betterSolution(a, b *solverState, tol float64) bool {
-	av, bv := a.bestTotal, b.bestTotal
-	aBand, bBand := int(av/tol), int(bv/tol)
+// betterSolution ranks candidate solutions by (violation, terminal
+// count): smaller violation first (within tolerance bands so noise does
+// not dominate), then fewer hidden terminals, then strictly smaller
+// violation. A NaN violation is unordered garbage (degenerate inputs can
+// produce one) and must never win a multi-start reduction: NaN loses to
+// everything, including another NaN (the reduction then keeps the
+// earlier chain). Bands are compared as floats — math.Floor equals
+// integer truncation for the non-negative totals the solver produces
+// and stays exact where an int conversion would overflow on ±Inf.
+func betterSolution(av float64, ah int, bv float64, bh int, tol float64) bool {
+	if math.IsNaN(av) {
+		return false
+	}
+	if math.IsNaN(bv) {
+		return true
+	}
+	aBand, bBand := math.Floor(av/tol), math.Floor(bv/tol)
 	if aBand != bBand {
 		return aBand < bBand
 	}
-	ah, bh := len(a.bestHTs), len(b.bestHTs)
 	if ah != bh {
 		return ah < bh
 	}
@@ -354,42 +408,101 @@ func betterSolution(a, b *solverState, tol float64) bool {
 
 // Residual computes the total and maximum constraint violation of topo
 // against the transformed measurement targets (individuals, pairs, and
-// any triple constraints), in the −log domain.
+// any triple constraints), in the −log domain. If any single residual
+// is NaN both results are NaN — a degenerate constraint must never be
+// invisible to a convergence or prune decision.
 func Residual(t *Transformed, topo *Topology) (total, maxViol float64) {
+	var rs residualScratch
+	return rs.residual(t, topo)
+}
+
+// residualScratch holds the constraint-sum buffers one Residual
+// evaluation needs, so repeated scoring (the pruneInsignificant loop)
+// reuses them instead of allocating three slices per candidate. It also
+// memoizes the −log(1−q) transform: prune candidates share almost all
+// their terminals with the topology they were derived from, so the same
+// q values recur across every candidate evaluation. The memo is keyed
+// by exact bit equality and QFromProb is deterministic, so a hit returns
+// bit-for-bit the value a fresh computation would.
+type residualScratch struct {
+	A, B, C []float64
+	nq      int
+	qk, qv  [32]float64
+}
+
+func (rs *residualScratch) qTransformed(q float64) float64 {
+	for i := 0; i < rs.nq; i++ {
+		if rs.qk[i] == q {
+			return rs.qv[i]
+		}
+	}
+	Q := QFromProb(q)
+	if rs.nq < len(rs.qk) {
+		rs.qk[rs.nq], rs.qv[rs.nq] = q, Q
+		rs.nq++
+	}
+	return Q
+}
+
+func (rs *residualScratch) residual(t *Transformed, topo *Topology) (total, maxViol float64) {
 	n := t.N
-	A := make([]float64, n)
-	B := make([]float64, n*n)
-	C := make([]float64, len(t.T3))
+	if cap(rs.A) < n {
+		rs.A = make([]float64, n)
+		rs.B = make([]float64, n*n)
+	}
+	rs.A = rs.A[:n]
+	rs.B = rs.B[:n*n]
+	clear(rs.A)
+	clear(rs.B)
+	if cap(rs.C) < len(t.T3) {
+		rs.C = make([]float64, len(t.T3))
+	}
+	rs.C = rs.C[:len(t.T3)]
+	clear(rs.C)
 	for _, ht := range topo.HTs {
-		Q := QFromProb(ht.Q)
-		members := ht.Clients.Members()
-		for ai, i := range members {
-			A[i] += Q
-			for _, j := range members[ai+1:] {
-				B[i*n+j] += Q
+		Q := rs.qTransformed(ht.Q)
+		for v := uint64(ht.Clients); v != 0; v &= v - 1 {
+			i := bits.TrailingZeros64(v)
+			rs.A[i] += Q
+			for w := v & (v - 1); w != 0; w &= w - 1 {
+				rs.B[i*n+bits.TrailingZeros64(w)] += Q
 			}
 		}
-		for idx, t3 := range t.T3 {
-			if ht.Clients.Contains(t3.Clients) {
-				C[idx] += Q
+		for idx := range t.T3 {
+			if ht.Clients.Contains(t.T3[idx].Clients) {
+				rs.C[idx] += Q
 			}
 		}
 	}
-	add := func(v float64) {
-		v = math.Abs(v)
+	for i := 0; i < n; i++ {
+		v := math.Abs(rs.A[i] - t.PI[i])
+		total += v
+		if v > maxViol {
+			maxViol = v
+		}
+		row := rs.B[i*n:]
+		trow := t.pij[i*n:]
+		for j := i + 1; j < n; j++ {
+			v := math.Abs(row[j] - trow[j])
+			total += v
+			if v > maxViol {
+				maxViol = v
+			}
+		}
+	}
+	for idx := range t.T3 {
+		v := math.Abs(rs.C[idx] - t.T3[idx].Target)
 		total += v
 		if v > maxViol {
 			maxViol = v
 		}
 	}
-	for i := 0; i < n; i++ {
-		add(A[i] - t.PI[i])
-		for j := i + 1; j < n; j++ {
-			add(B[i*n+j] - t.PIJ(i, j))
-		}
-	}
-	for idx, t3 := range t.T3 {
-		add(C[idx] - t3.Target)
+	// A NaN residual (degenerate targets) is skipped by the > fold
+	// above, which would leave it invisible to MaxViolation — letting
+	// Converged report true and pruneInsignificant drop terminals on
+	// garbage comparisons. The total is NaN-sticky, so surface it.
+	if math.IsNaN(total) {
+		maxViol = total
 	}
 	return total, maxViol
 }
@@ -398,7 +511,10 @@ func Residual(t *Transformed, topo *Topology) (total, maxViol float64) {
 const maxQ = 13.8 // q ≈ 1 − 1e−6
 
 // solverState is one constraint-repair run: the working topology in the
-// −log domain plus incrementally maintained constraint sums.
+// −log domain plus incrementally maintained constraint sums. It is the
+// per-start scratch of the inference kernel — reset reinitializes it in
+// place for the next start in a chain, so the repair inner loops run
+// allocation-free once the buffers have grown to their working size.
 type solverState struct {
 	n      int
 	target *Transformed
@@ -429,6 +545,19 @@ func newSolver(target *Transformed, start startTopo, opts InferOptions) *solverS
 		B:      make([]float64, n*n),
 		C:      make([]float64, len(target.T3)),
 	}
+	s.reset(start)
+	return s
+}
+
+// reset reinitializes the scratch for a fresh start topology: zeroed
+// constraint sums, the filtered start set, and a new best snapshot —
+// exactly the state a newly allocated solver would hold, without the
+// allocations.
+func (s *solverState) reset(start startTopo) {
+	clear(s.A)
+	clear(s.B)
+	clear(s.C)
+	s.hts = s.hts[:0]
 	for _, h := range start {
 		if h.clients.Empty() || h.Q <= 0 {
 			continue
@@ -438,20 +567,21 @@ func newSolver(target *Transformed, start startTopo, opts InferOptions) *solverS
 	}
 	s.total = s.recomputeTotal()
 	s.snapshot()
-	return s
 }
 
 // addSums adds dq to every constraint sum an edge set contributes to.
 func (s *solverState) addSums(set ClientSet, dq float64) {
-	members := set.Members()
-	for ai, i := range members {
-		s.A[i] += dq
-		for _, j := range members[ai+1:] {
-			s.B[i*s.n+j] += dq
+	A, B, n := s.A, s.B, s.n
+	for v := uint64(set); v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
+		A[i] += dq
+		row := B[i*n:]
+		for w := v & (v - 1); w != 0; w &= w - 1 {
+			row[bits.TrailingZeros64(w)] += dq
 		}
 	}
-	for idx, t3 := range s.target.T3 {
-		if set.Contains(t3.Clients) {
+	for idx := range s.target.T3 {
+		if set.Contains(s.target.T3[idx].Clients) {
 			s.C[idx] += dq
 		}
 	}
@@ -465,8 +595,8 @@ func (s *solverState) recomputeTotal() float64 {
 			total += math.Abs(s.B[i*s.n+j] - s.target.PIJ(i, j))
 		}
 	}
-	for idx, t3 := range s.target.T3 {
-		total += math.Abs(s.C[idx] - t3.Target)
+	for idx := range s.target.T3 {
+		total += math.Abs(s.C[idx] - s.target.T3[idx].Target)
 	}
 	return total
 }
@@ -481,42 +611,63 @@ func violDelta(sum, target, d float64) float64 {
 	return math.Abs(sum+d-target) - math.Abs(sum-target)
 }
 
-// contrib returns q if clients covers the constraint member set.
-func contrib(q float64, clients, constraint ClientSet) float64 {
-	if clients.Contains(constraint) {
-		return q
-	}
-	return 0
-}
-
 // deltaReplace returns the total-violation change of replacing a hidden
 // terminal (oldQ, oldC) with (newQ, newC). Either side may be the empty
 // terminal (q=0, no clients) to express insertion or deletion. This is
 // the single primitive every adaptation move reduces to, and it is
-// exact for individual, pair, and triple constraints alike.
+// exact for individual, pair, and triple constraints alike. It visits
+// only the constraints the union of both edge sets touches — the
+// incremental-residual contract — and walks them by bit iteration, so
+// the innermost solver loop allocates nothing.
 func (s *solverState) deltaReplace(oldQ float64, oldC ClientSet, newQ float64, newC ClientSet) float64 {
-	u := oldC.Union(newC)
-	members := u.Members()
+	nu, ou := uint64(newC), uint64(oldC)
+	u := nu | ou
+	n := s.n
+	A, B := s.A, s.B
+	PI, pij := s.target.PI, s.target.pij
 	var delta float64
-	for ai, i := range members {
-		ci := NewClientSet(i)
-		d := contrib(newQ, newC, ci) - contrib(oldQ, oldC, ci)
-		if d != 0 {
-			delta += violDelta(s.A[i], s.target.PI[i], d)
+	for v := u; v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
+		inew := nu>>uint(i)&1 != 0
+		iold := ou>>uint(i)&1 != 0
+		var d float64
+		if inew {
+			d = newQ
 		}
-		for _, j := range members[ai+1:] {
-			cp := NewClientSet(i, j)
-			d := contrib(newQ, newC, cp) - contrib(oldQ, oldC, cp)
-			if d != 0 {
-				delta += violDelta(s.B[i*s.n+j], s.target.PIJ(i, j), d)
+		if iold {
+			d -= oldQ
+		}
+		if d != 0 {
+			delta += violDelta(A[i], PI[i], d)
+		}
+		row := B[i*n:]
+		trow := pij[i*n:]
+		for w := v & (v - 1); w != 0; w &= w - 1 {
+			j := bits.TrailingZeros64(w)
+			var dp float64
+			if inew && nu>>uint(j)&1 != 0 {
+				dp = newQ
+			}
+			if iold && ou>>uint(j)&1 != 0 {
+				dp -= oldQ
+			}
+			if dp != 0 {
+				delta += violDelta(row[j], trow[j], dp)
 			}
 		}
 	}
-	for idx, t3 := range s.target.T3 {
-		if !u.Contains(t3.Clients) {
+	for idx := range s.target.T3 {
+		t3 := &s.target.T3[idx]
+		if !ClientSet(u).Contains(t3.Clients) {
 			continue
 		}
-		d := contrib(newQ, newC, t3.Clients) - contrib(oldQ, oldC, t3.Clients)
+		var d float64
+		if newC.Contains(t3.Clients) {
+			d = newQ
+		}
+		if oldC.Contains(t3.Clients) {
+			d -= oldQ
+		}
 		if d != 0 {
 			delta += violDelta(s.C[idx], t3.Target, d)
 		}
@@ -524,16 +675,102 @@ func (s *solverState) deltaReplace(oldQ float64, oldC ClientSet, newQ float64, n
 	return delta
 }
 
-// applyReplace mutates the state: k >= 0 replaces that terminal
-// (removing it entirely when newC is empty or newQ <= 0); k < 0 appends
-// a new terminal.
-func (s *solverState) applyReplace(k int, newQ float64, newC ClientSet) {
+// deltaQChange is deltaReplace specialized for moves that keep the edge
+// set and change only Q (decrease, increase, or a fresh terminal from
+// oldQ = 0): every constraint inside set shifts by the same d = newQ −
+// oldQ. The generic path computes that identical d once per touched
+// constraint, so this produces bit-for-bit the same violDelta sequence
+// while skipping every membership test.
+func (s *solverState) deltaQChange(set ClientSet, oldQ, newQ float64) float64 {
+	dq := newQ - oldQ
+	if dq == 0 {
+		return 0
+	}
+	n := s.n
+	A, B := s.A, s.B
+	PI, pij := s.target.PI, s.target.pij
+	var delta float64
+	for v := uint64(set); v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
+		delta += violDelta(A[i], PI[i], dq)
+		row := B[i*n:]
+		trow := pij[i*n:]
+		for w := v & (v - 1); w != 0; w &= w - 1 {
+			j := bits.TrailingZeros64(w)
+			delta += violDelta(row[j], trow[j], dq)
+		}
+	}
+	for idx := range s.target.T3 {
+		t3 := &s.target.T3[idx]
+		if set.Contains(t3.Clients) {
+			delta += violDelta(s.C[idx], t3.Target, dq)
+		}
+	}
+	return delta
+}
+
+// deltaEdge is deltaReplace specialized for moves that keep Q and attach
+// or detach clients: base is the union edge set (the new set when
+// attaching, the old when detaching) and changed ⊆ base the clients
+// added (dq = +Q) or removed (dq = −Q). Only the constraints touching
+// changed shift — O(|base|·|changed|) pair visits instead of the generic
+// O(|base|²) — and they are visited in exactly the generic path's
+// ascending order, so the folded delta is bit-identical.
+func (s *solverState) deltaEdge(base, changed ClientSet, dq float64) float64 {
+	if dq == 0 {
+		return 0
+	}
+	n := s.n
+	A, B := s.A, s.B
+	PI, pij := s.target.PI, s.target.pij
+	ch := uint64(changed)
+	var delta float64
+	for v := uint64(base); v != 0; v &= v - 1 {
+		i := bits.TrailingZeros64(v)
+		rest := v & (v - 1)
+		if ch>>uint(i)&1 != 0 {
+			// i itself changes: its individual constraint and every pair
+			// with a later base member shift by dq.
+			delta += violDelta(A[i], PI[i], dq)
+			if rest != 0 {
+				row := B[i*n:]
+				trow := pij[i*n:]
+				for w := rest; w != 0; w &= w - 1 {
+					j := bits.TrailingZeros64(w)
+					delta += violDelta(row[j], trow[j], dq)
+				}
+			}
+		} else if m := rest & ch; m != 0 {
+			// i is stable: only its pairs with later changed members shift.
+			row := B[i*n:]
+			trow := pij[i*n:]
+			for w := m; w != 0; w &= w - 1 {
+				j := bits.TrailingZeros64(w)
+				delta += violDelta(row[j], trow[j], dq)
+			}
+		}
+	}
+	for idx := range s.target.T3 {
+		t3 := &s.target.T3[idx]
+		if base.Contains(t3.Clients) && !t3.Clients.Intersect(changed).Empty() {
+			delta += violDelta(s.C[idx], t3.Target, dq)
+		}
+	}
+	return delta
+}
+
+// apply mutates the state: k >= 0 replaces that terminal (removing it
+// entirely when newC is empty or newQ <= 0); k < 0 appends a new
+// terminal. delta is the precomputed total-violation change of this
+// exact replacement — every caller already scored the move through one
+// of the delta primitives, so apply never re-derives it.
+func (s *solverState) apply(k int, delta, newQ float64, newC ClientSet) {
 	var oldQ float64
 	var oldC ClientSet
 	if k >= 0 {
 		oldQ, oldC = s.hts[k].Q, s.hts[k].clients
 	}
-	s.total += s.deltaReplace(oldQ, oldC, newQ, newC)
+	s.total += delta
 	// Update sums: remove old contribution, add new.
 	if !oldC.Empty() && oldQ != 0 {
 		s.addSums(oldC, -oldQ)
@@ -558,27 +795,6 @@ type move struct {
 	k     int     // terminal replaced (-1 = new)
 	newQ  float64
 	newC  ClientSet
-}
-
-// replaceMove builds the candidate replacing terminal k.
-func (s *solverState) replaceMove(k int, newQ float64, newC ClientSet) move {
-	return move{
-		delta: s.deltaReplace(s.hts[k].Q, s.hts[k].clients, newQ, newC),
-		k:     k,
-		newQ:  newQ,
-		newC:  newC,
-	}
-}
-
-// newHTMove builds the candidate inserting a fresh terminal.
-func (s *solverState) newHTMove(clients ClientSet, q float64) move {
-	return move{
-		delta: s.deltaReplace(0, 0, q, clients),
-		addHT: true,
-		k:     -1,
-		newQ:  q,
-		newC:  clients,
-	}
 }
 
 // run iterates the constraint-repair adaptation until convergence,
@@ -607,7 +823,7 @@ func (s *solverState) run(ctx context.Context, opts InferOptions) int {
 		if !ok {
 			break
 		}
-		s.applyReplace(m.k, m.newQ, m.newC)
+		s.apply(m.k, m.delta, m.newQ, m.newC)
 		s.prune()
 		if s.total < s.bestTotal-1e-12 {
 			s.snapshot()
@@ -626,37 +842,44 @@ func (s *solverState) run(ctx context.Context, opts InferOptions) int {
 // by its client member set (1 member = individual, 2 = pair,
 // 3 = triple).
 func (s *solverState) worstConstraint() (set ClientSet, viol float64) {
-	for a := 0; a < s.n; a++ {
-		if v := math.Abs(s.A[a] - s.target.PI[a]); v > viol {
-			set, viol = NewClientSet(a), v
+	n := s.n
+	A, B := s.A, s.B
+	PI, pij := s.target.PI, s.target.pij
+	for a := 0; a < n; a++ {
+		if v := math.Abs(A[a] - PI[a]); v > viol {
+			set, viol = ClientSet(1)<<uint(a), v
 		}
-		for b := a + 1; b < s.n; b++ {
-			if v := math.Abs(s.B[a*s.n+b] - s.target.PIJ(a, b)); v > viol {
-				set, viol = NewClientSet(a, b), v
+		row := B[a*n:]
+		trow := pij[a*n:]
+		for b := a + 1; b < n; b++ {
+			if v := math.Abs(row[b] - trow[b]); v > viol {
+				set, viol = ClientSet(1<<uint(a)|1<<uint(b)), v
 			}
 		}
 	}
-	for idx, t3 := range s.target.T3 {
-		if v := math.Abs(s.C[idx] - t3.Target); v > viol {
-			set, viol = t3.Clients, v
+	for idx := range s.target.T3 {
+		if v := math.Abs(s.C[idx] - s.target.T3[idx].Target); v > viol {
+			set, viol = s.target.T3[idx].Clients, v
 		}
 	}
 	return set, viol
 }
 
 // constraintSum returns the current sum for a constraint member set.
+// Member extraction is bit arithmetic and triple constraints resolve
+// through the Transformed's flat index, so the lookup allocates nothing
+// and costs O(1) even with many third-order constraints.
 func (s *solverState) constraintSum(set ClientSet) float64 {
 	switch set.Count() {
 	case 1:
-		return s.A[set.Members()[0]]
+		return s.A[bits.TrailingZeros64(uint64(set))]
 	case 2:
-		m := set.Members()
-		return s.B[m[0]*s.n+m[1]]
+		i := bits.TrailingZeros64(uint64(set))
+		j := bits.TrailingZeros64(uint64(set) & (uint64(set) - 1))
+		return s.B[i*s.n+j]
 	default:
-		for idx, t3 := range s.target.T3 {
-			if t3.Clients == set {
-				return s.C[idx]
-			}
+		if idx := s.target.tripleIndex(set); idx >= 0 {
+			return s.C[idx]
 		}
 	}
 	return 0
@@ -666,18 +889,43 @@ func (s *solverState) constraintSum(set ClientSet) float64 {
 func (s *solverState) constraintTarget(set ClientSet) float64 {
 	switch set.Count() {
 	case 1:
-		return s.target.PI[set.Members()[0]]
+		return s.target.PI[bits.TrailingZeros64(uint64(set))]
 	case 2:
-		m := set.Members()
-		return s.target.PIJ(m[0], m[1])
+		i := bits.TrailingZeros64(uint64(set))
+		j := bits.TrailingZeros64(uint64(set) & (uint64(set) - 1))
+		return s.target.PIJ(i, j)
 	default:
-		for _, t3 := range s.target.T3 {
-			if t3.Clients == set {
-				return t3.Target
-			}
+		if idx := s.target.tripleIndex(set); idx >= 0 {
+			return s.target.T3[idx].Target
 		}
 	}
 	return 0
+}
+
+// movePick folds candidate moves one at a time: the streaming
+// equivalent of collecting them into a slice and scanning for the
+// smallest violation delta, preferring moves that do not add hidden
+// terminals on near-ties. Candidates with a NaN delta are unordered
+// garbage (degenerate constraint targets) and are never picked — a
+// slice scan would have let a NaN first candidate survive every
+// comparison and be applied.
+type movePick struct {
+	best move
+	have bool
+}
+
+func (p *movePick) consider(m move) {
+	if math.IsNaN(m.delta) {
+		return
+	}
+	if !p.have {
+		p.best, p.have = m, true
+		return
+	}
+	if m.delta < p.best.delta-1e-12 ||
+		(math.Abs(m.delta-p.best.delta) <= 1e-12 && p.best.addHT && !m.addHT) {
+		p.best = m
+	}
 }
 
 // bestMove enumerates the Section 3.4.2 adaptations for the violated
@@ -688,9 +936,12 @@ func (s *solverState) constraintTarget(set ClientSet) float64 {
 //	under-contribution: increase Q of a covering terminal, attach the
 //	missing constraint clients to a partially-covering terminal, or
 //	introduce a new terminal with exactly the constraint's edges.
+//
+// Candidates are scored as they are generated (movePick), so the
+// enumeration allocates no slice however many moves are legal.
 func (s *solverState) bestMove(cs ClientSet, opts InferOptions) (move, bool) {
 	c := s.constraintSum(cs) - s.constraintTarget(cs)
-	var cands []move
+	var p movePick
 	if c > 0 { // over-contribution
 		for k := range s.hts {
 			h := s.hts[k]
@@ -698,14 +949,18 @@ func (s *solverState) bestMove(cs ClientSet, opts InferOptions) (move, bool) {
 				continue
 			}
 			dec := math.Min(c, h.Q)
-			cands = append(cands, s.replaceMove(k, h.Q-dec, h.clients))
+			p.consider(move{delta: s.deltaQChange(h.clients, h.Q, h.Q-dec),
+				k: k, newQ: h.Q - dec, newC: h.clients})
 			// Detach each constraint client individually, and all of
 			// them together.
-			cs.ForEach(func(i int) {
-				cands = append(cands, s.replaceMove(k, h.Q, h.clients.Remove(i)))
-			})
+			for v := uint64(cs); v != 0; v &= v - 1 {
+				r := bits.TrailingZeros64(v)
+				p.consider(move{delta: s.deltaEdge(h.clients, ClientSet(1)<<uint(r), -h.Q),
+					k: k, newQ: h.Q, newC: h.clients.Remove(r)})
+			}
 			if cs.Count() > 1 {
-				cands = append(cands, s.replaceMove(k, h.Q, h.clients.Minus(cs)))
+				p.consider(move{delta: s.deltaEdge(h.clients, cs, -h.Q),
+					k: k, newQ: h.Q, newC: h.clients.Minus(cs)})
 			}
 		}
 	} else { // under-contribution
@@ -715,35 +970,23 @@ func (s *solverState) bestMove(cs ClientSet, opts InferOptions) (move, bool) {
 			if h.clients.Contains(cs) {
 				// (a) increase Q(k) by the deficit.
 				if h.Q+need <= maxQ {
-					cands = append(cands, s.replaceMove(k, h.Q+need, h.clients))
+					p.consider(move{delta: s.deltaQChange(h.clients, h.Q, h.Q+need),
+						k: k, newQ: h.Q + need, newC: h.clients})
 				}
 				continue
 			}
 			// (b) attach the missing clients to avail Q(k).
-			cands = append(cands, s.replaceMove(k, h.Q, h.clients.Union(cs)))
+			u := h.clients.Union(cs)
+			p.consider(move{delta: s.deltaEdge(u, cs.Minus(h.clients), h.Q),
+				k: k, newQ: h.Q, newC: u})
 		}
 		// (c) a new hidden terminal supplying exactly the deficit.
 		if len(s.hts) < opts.MaxHTs && need <= maxQ {
-			cands = append(cands, s.newHTMove(cs, need))
+			p.consider(move{delta: s.deltaQChange(cs, 0, need),
+				addHT: true, k: -1, newQ: need, newC: cs})
 		}
 	}
-	return pickMove(cands)
-}
-
-// pickMove returns the candidate with the smallest violation delta,
-// preferring moves that do not add hidden terminals on near-ties.
-func pickMove(cands []move) (move, bool) {
-	if len(cands) == 0 {
-		return move{}, false
-	}
-	best := cands[0]
-	for _, m := range cands[1:] {
-		if m.delta < best.delta-1e-12 ||
-			(math.Abs(m.delta-best.delta) <= 1e-12 && best.addHT && !m.addHT) {
-			best = m
-		}
-	}
-	return best, true
+	return p.best, p.have
 }
 
 // prune drops hidden terminals that lost all edges or whose access
@@ -752,15 +995,18 @@ func (s *solverState) prune() {
 	for k := len(s.hts) - 1; k >= 0; k-- {
 		h := s.hts[k]
 		if h.clients.Empty() || h.Q <= 1e-9 {
-			s.applyReplace(k, 0, 0)
+			// Removal is a Q-change to zero over the terminal's own edge
+			// set: every covered constraint loses exactly h.Q.
+			s.apply(k, s.deltaQChange(h.clients, h.Q, 0), 0, 0)
 		}
 	}
 }
 
-// topology converts the best snapshot back to probability space.
-func (s *solverState) topology() *Topology {
-	t := &Topology{N: s.n}
-	for _, h := range s.bestHTs {
+// topologyFrom converts a solution's hidden terminals back to
+// probability space as a freshly allocated topology.
+func topologyFrom(n int, hts []ht) *Topology {
+	t := &Topology{N: n}
+	for _, h := range hts {
 		if h.clients.Empty() || h.Q <= 0 {
 			continue
 		}
@@ -894,11 +1140,13 @@ func cliqueStart(t *Transformed, opts InferOptions) startTopo {
 	return start
 }
 
-// perturbStart randomly mutates a converged topology — removing,
+// perturbInto randomly mutates a converged topology — removing,
 // splitting, or merging a hidden terminal — so the repair loop explores
-// a different basin from an almost-right configuration.
-func perturbStart(hts []ht, r *rng.Source) startTopo {
-	start := append(startTopo(nil), hts...)
+// a different basin from an almost-right configuration. The result is
+// built in dst's backing array (grown as needed), letting a chain reuse
+// one buffer across all its perturbation rounds.
+func perturbInto(dst startTopo, hts []ht, r *rng.Source) startTopo {
+	start := append(dst[:0], hts...)
 	if len(start) == 0 {
 		return start
 	}
@@ -908,12 +1156,13 @@ func perturbStart(hts []ht, r *rng.Source) startTopo {
 		start = append(start[:k], start[k+1:]...)
 	case 1: // split a multi-client terminal into two halves
 		k := r.Intn(len(start))
-		members := start[k].clients.Members()
-		if len(members) < 2 {
+		members := start[k].clients
+		if members.Count() < 2 {
 			break
 		}
 		var a, b ClientSet
-		for _, m := range members {
+		for v := uint64(members); v != 0; v &= v - 1 {
+			m := bits.TrailingZeros64(v)
 			if r.Bool(0.5) {
 				a = a.Add(m)
 			} else {

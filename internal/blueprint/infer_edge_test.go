@@ -1,0 +1,147 @@
+package blueprint
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBetterSolutionOrdering tables the reduction comparator through
+// its edge cases: tolerance bands, the terminal-count tie-break, exact
+// band boundaries, and the non-finite residuals a degenerate (unclamped)
+// measurement set can produce. The contract under test: a NaN violation
+// never wins — not even against another NaN (the reduction then keeps
+// the earlier chain) — and ±Inf orders as a very bad but comparable
+// value instead of overflowing the band computation.
+func TestBetterSolutionOrdering(t *testing.T) {
+	const tol = 0.02
+	nan, inf := math.NaN(), math.Inf(1)
+	for _, tc := range []struct {
+		name string
+		av   float64
+		ah   int
+		bv   float64
+		bh   int
+		want bool
+	}{
+		{"lower band wins despite more terminals", 0.01, 9, 0.05, 1, true},
+		{"higher band loses despite fewer terminals", 0.05, 1, 0.01, 9, false},
+		{"same band fewer terminals wins", 0.021, 1, 0.039, 5, true},
+		{"same band more terminals loses", 0.039, 5, 0.021, 1, false},
+		{"same band same terminals strictly smaller wins", 0.021, 2, 0.022, 2, true},
+		{"identical solutions do not replace", 0.021, 2, 0.021, 2, false},
+		// av/tol = 1.0 exactly: the boundary value belongs to the upper
+		// band, so a violation just inside tolerance beats one exactly at
+		// it regardless of terminal counts.
+		{"exactly at tolerance is the worse band", tol, 1, 0.0199, 9, false},
+		{"just inside tolerance beats exact boundary", 0.0199, 9, tol, 1, true},
+		{"zero violation beats boundary", 0, 3, tol, 3, true},
+		// NaN is unordered garbage: it must lose both ways.
+		{"NaN never beats finite", nan, 0, 1e9, 99, false},
+		{"finite always beats NaN", 1e9, 99, nan, 0, true},
+		{"NaN never beats NaN", nan, 1, nan, 9, false},
+		// ±Inf bands stay exact under math.Floor (an int conversion
+		// would overflow): Inf loses to any finite violation and ties
+		// break on terminal count between two Infs.
+		{"Inf loses to finite", inf, 1, 1e12, 9, false},
+		{"finite beats Inf", 1e12, 9, inf, 1, true},
+		{"Inf vs Inf breaks on terminal count", inf, 1, inf, 2, true},
+		{"Inf vs Inf equal terminals does not replace", inf, 2, inf, 2, false},
+	} {
+		if got := betterSolution(tc.av, tc.ah, tc.bv, tc.bh, tol); got != tc.want {
+			t.Errorf("%s: betterSolution(%v,%d vs %v,%d) = %v, want %v",
+				tc.name, tc.av, tc.ah, tc.bv, tc.bh, got, tc.want)
+		}
+	}
+}
+
+// TestPruneInsignificantEdgeCases tables the final-topology prune:
+// empty topologies pass through, genuinely load-bearing terminals are
+// never dropped, noise-fitting terminals are (including the exact
+// boundary where removal leaves the residual bit-identical), and a NaN
+// residual degrades the prune to a no-op instead of pruning on garbage
+// comparisons.
+func TestPruneInsignificantEdgeCases(t *testing.T) {
+	const tol = 0.02
+	truth := &Topology{N: 4, HTs: []HiddenTerminal{
+		{Q: 0.4, Clients: NewClientSet(0, 1)},
+		{Q: 0.25, Clients: NewClientSet(2, 3)},
+	}}
+	target := truth.Measure().Transform()
+
+	t.Run("empty topology passes through", func(t *testing.T) {
+		got := pruneInsignificant(target, &Topology{N: 4}, tol)
+		if len(got.HTs) != 0 {
+			t.Errorf("pruned empty topology has %d terminals", len(got.HTs))
+		}
+	})
+
+	t.Run("load-bearing terminals kept", func(t *testing.T) {
+		got := pruneInsignificant(target, truth.Clone(), tol)
+		if len(got.HTs) != len(truth.HTs) {
+			t.Errorf("pruned %d of %d load-bearing terminals",
+				len(truth.HTs)-len(got.HTs), len(truth.HTs))
+		}
+	})
+
+	t.Run("noise-fitting terminal dropped", func(t *testing.T) {
+		// The spurious terminal is the weakest, so the prune tries it
+		// first; its removal restores the exact truth (residual 0) while
+		// removing a true terminal would violate well past the bound.
+		padded := truth.Clone()
+		padded.HTs = append(padded.HTs, HiddenTerminal{Q: 0.1, Clients: NewClientSet(0, 2)})
+		got := pruneInsignificant(target, padded, tol)
+		if len(got.HTs) != len(truth.HTs) {
+			t.Errorf("got %d terminals, want the %d true ones", len(got.HTs), len(truth.HTs))
+		}
+		for _, ht := range got.HTs {
+			if ht.Clients == NewClientSet(0, 2) {
+				t.Errorf("spurious terminal %v survived the prune", ht.Clients)
+			}
+		}
+	})
+
+	t.Run("inflated bound may sacrifice true terminals", func(t *testing.T) {
+		// The flip side of "no worse than it already is": a strongly
+		// violating spurious terminal inflates the prune bound, so
+		// removals that keep the residual under that inflated bound are
+		// accepted even when they drop true terminals. This pins the
+		// prune as monotone in the bound rather than asserting it can
+		// recover truth from arbitrarily bad topologies.
+		padded := truth.Clone()
+		padded.HTs = append(padded.HTs, HiddenTerminal{Q: 0.3, Clients: NewClientSet(0, 2)})
+		before := len(padded.HTs)
+		got := pruneInsignificant(target, padded, tol)
+		if len(got.HTs) >= before {
+			t.Errorf("prune removed nothing from a violating topology (%d terminals)", len(got.HTs))
+		}
+		if len(padded.HTs) != before {
+			t.Errorf("prune mutated its input: %d terminals left of %d", len(padded.HTs), before)
+		}
+	})
+
+	t.Run("zero-q terminal exactly at bound dropped", func(t *testing.T) {
+		// A q=0 terminal contributes exactly nothing, so removing it
+		// leaves the residual bit-identical: the candidate sits exactly
+		// at the prune bound and the <= comparison must drop it.
+		padded := truth.Clone()
+		padded.HTs = append(padded.HTs, HiddenTerminal{Q: 0, Clients: NewClientSet(1, 3)})
+		got := pruneInsignificant(target, padded, tol)
+		for _, ht := range got.HTs {
+			if ht.Q == 0 {
+				t.Error("zero-q terminal survived an exact-boundary prune")
+			}
+		}
+	})
+
+	t.Run("NaN residual is a no-op", func(t *testing.T) {
+		bad := &Transformed{N: 2, PI: []float64{math.NaN(), 0.3}, pij: make([]float64, 4)}
+		topo := &Topology{N: 2, HTs: []HiddenTerminal{
+			{Q: 0.3, Clients: NewClientSet(0)},
+			{Q: 0.2, Clients: NewClientSet(1)},
+		}}
+		got := pruneInsignificant(bad, topo, tol)
+		if len(got.HTs) != 2 {
+			t.Errorf("NaN residual pruned to %d terminals, want untouched 2", len(got.HTs))
+		}
+	})
+}

@@ -165,6 +165,68 @@ type Transformed struct {
 	// T3 are the optional transformed triple constraints
 	// Σ_{k: z_ik ∧ z_jk ∧ z_lk} Q(k) (see TripleConstraint).
 	T3 []TripleConstraint
+	// t3keys/t3vals form a flat open-addressed index from a triple
+	// constraint's ClientSet to its position in T3, replacing the linear
+	// scan the solver's constraint lookups used to pay per probe. Slots
+	// are a power of two sized at build (≥ 2·len(T3), so load factor
+	// stays ≤ 0.5 and probes short); the table is exact and immutable —
+	// built once per Transform, no eviction, no resizing — so its size
+	// can never change a lookup result, only its cost. An empty-set key
+	// marks a free slot (a constraint set is never empty).
+	t3keys []ClientSet
+	t3vals []int32
+	t3mask uint64
+}
+
+// buildT3Index fills the flat triple index after T3 has been sorted.
+func (t *Transformed) buildT3Index() {
+	if len(t.T3) == 0 {
+		return
+	}
+	slots := 8
+	for slots < 2*len(t.T3) {
+		slots *= 2
+	}
+	t.t3keys = make([]ClientSet, slots)
+	t.t3vals = make([]int32, slots)
+	t.t3mask = uint64(slots - 1)
+	for idx := range t.T3 {
+		set := t.T3[idx].Clients
+		i := mix64(uint64(set)) & t.t3mask
+		for t.t3keys[i] != 0 {
+			i = (i + 1) & t.t3mask
+		}
+		t.t3keys[i] = set
+		t.t3vals[i] = int32(idx)
+	}
+}
+
+// tripleIndex returns the T3 position of the constraint with the given
+// member set, or -1. O(1) expected, allocation-free.
+func (t *Transformed) tripleIndex(set ClientSet) int {
+	if len(t.t3keys) == 0 {
+		return -1
+	}
+	i := mix64(uint64(set)) & t.t3mask
+	for {
+		k := t.t3keys[i]
+		if k == set {
+			return int(t.t3vals[i])
+		}
+		if k == 0 {
+			return -1
+		}
+		i = (i + 1) & t.t3mask
+	}
+}
+
+// mix64 is the SplitMix64 finalizer, scrambling ClientSet bit patterns
+// (which cluster in the low bits) into uniform table indices.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // TripleConstraint is a transformed third-order constraint: the summed
@@ -206,6 +268,7 @@ func (m *Measurements) Transform() *Transformed {
 	}
 	// Stable order for deterministic inference.
 	sort.Slice(t.T3, func(a, b int) bool { return t.T3[a].Clients < t.T3[b].Clients })
+	t.buildT3Index()
 	return t
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package blueprint
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-ceiling tests skip under -race because instrumentation
+// adds allocations the production binary never makes.
+const raceEnabled = false

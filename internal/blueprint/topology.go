@@ -148,23 +148,28 @@ func (t *Topology) Measure() *Measurements {
 // terminals by edge set for stable comparison.
 func (t *Topology) Normalize() *Topology {
 	const negligible = 1e-9
-	merged := make(map[ClientSet]float64)
+	kept := make([]HiddenTerminal, 0, len(t.HTs))
 	for _, ht := range t.HTs {
 		if ht.Clients.Empty() || ht.Q <= negligible {
 			continue
 		}
-		// Idle probabilities multiply: 1−q = (1−q1)(1−q2).
-		if prev, ok := merged[ht.Clients]; ok {
-			merged[ht.Clients] = 1 - (1-prev)*(1-ht.Q)
-		} else {
-			merged[ht.Clients] = ht.Q
+		kept = append(kept, ht)
+	}
+	// Stable sort groups identical edge sets while preserving their
+	// original relative order, so the merge below multiplies idle
+	// probabilities in exactly input order — the same floating-point
+	// result a map keyed by edge set and updated in input order gives,
+	// without the map.
+	sort.SliceStable(kept, func(a, b int) bool { return kept[a].Clients < kept[b].Clients })
+	out := &Topology{N: t.N, HTs: make([]HiddenTerminal, 0, len(kept))}
+	for _, ht := range kept {
+		if n := len(out.HTs); n > 0 && out.HTs[n-1].Clients == ht.Clients {
+			// Idle probabilities multiply: 1−q = (1−q1)(1−q2).
+			out.HTs[n-1].Q = 1 - (1-out.HTs[n-1].Q)*(1-ht.Q)
+			continue
 		}
+		out.HTs = append(out.HTs, ht)
 	}
-	out := &Topology{N: t.N, HTs: make([]HiddenTerminal, 0, len(merged))}
-	for set, q := range merged {
-		out.HTs = append(out.HTs, HiddenTerminal{Q: q, Clients: set})
-	}
-	sort.Slice(out.HTs, func(a, b int) bool { return out.HTs[a].Clients < out.HTs[b].Clients })
 	return out
 }
 

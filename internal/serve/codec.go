@@ -1,0 +1,471 @@
+// Binary wire codec for the infer endpoint — the compact alternative
+// to the JSON schema in wire.go, negotiated per request via
+// Content-Type (request body) and Accept (response body) set to
+// ContentTypeBinary. The codec exists so load generators can measure
+// the JSON tax directly: both codecs decode into the *same* wire
+// structs, so validation (ToMeasurements), canonical digesting
+// (digestInfer), coalescing, and caching are shared — only the byte
+// layer differs.
+//
+// Frame layout (all multi-byte fields little-endian):
+//
+//	[4]byte magic "BLUW"
+//	u8     version (currently 1)
+//	u8     kind    (1 = infer request, 2 = infer response)
+//	u32    payload length
+//	...    payload (exactly the declared length; trailing bytes reject)
+//
+// Infer request payload:
+//
+//	u8  n
+//	n × f64 p[i]
+//	u16 pairCount,   pairCount   × (u8 i, u8 j, f64 p)
+//	u16 tripleCount, tripleCount × (u8 i, u8 j, u8 k, f64 p)
+//	i32 maxIterations, f64 tolerance, i32 randomStarts, u64 seed,
+//	i32 maxHTs, i32 stallLimit, i32 perturbations
+//	i32 timeoutMS
+//
+// Infer response payload:
+//
+//	u8  n
+//	u16 htCount × (f64 q, u64 clients bitmask)
+//	f64 violation, f64 maxViolation
+//	u8  converged (0 or 1)
+//	u32 starts, u32 iterations
+//
+// Decoding is structural only — index ranges, probability bounds, and
+// topology invariants stay the job of ToMeasurements/ToTopology, the
+// same gate the JSON path goes through. Every malformed input returns
+// an error wrapping errMalformedFrame; nothing panics, which the fuzz
+// suite in codec_fuzz_test.go enforces.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"blu/internal/blueprint"
+)
+
+// ContentTypeBinary selects the binary codec on the infer endpoint: as
+// a request Content-Type it declares a binary body, in Accept it asks
+// for a binary response. Everything else (errors included) stays JSON.
+const ContentTypeBinary = "application/x-blu-binary"
+
+const (
+	wireVersion       = 1
+	kindInferRequest  = 1
+	kindInferResponse = 2
+
+	frameHeaderLen = 10 // magic(4) + version(1) + kind(1) + length(4)
+
+	// maxFramePayload caps the declared payload length, mirroring the
+	// HTTP body cap so a forged length field cannot drive a huge
+	// allocation.
+	maxFramePayload = 8 << 20
+)
+
+var wireMagic = [4]byte{'B', 'L', 'U', 'W'}
+
+// errMalformedFrame is the sentinel every decode failure wraps.
+var errMalformedFrame = errors.New("binary codec: malformed frame")
+
+func frameErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errMalformedFrame, fmt.Sprintf(format, args...))
+}
+
+// wireWriter appends fixed-width little-endian fields to a buffer that
+// was pre-sized by the encoder, so a whole encode is one allocation.
+type wireWriter struct{ b []byte }
+
+func (w *wireWriter) u8(v byte)     { w.b = append(w.b, v) }
+func (w *wireWriter) u16(v uint16)  { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *wireWriter) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wireWriter) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wireWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+// i32 encodes a Go int that must fit int32 (the wire width for counts
+// and option knobs).
+func (w *wireWriter) i32(name string, v int) error {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return fmt.Errorf("binary codec: %s=%d does not fit int32", name, v)
+	}
+	w.u32(uint32(int32(v)))
+	return nil
+}
+
+// wireReader consumes fixed-width little-endian fields with explicit
+// bounds checks; every short read is a truncated-frame error.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+func (r *wireReader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, frameErr("truncated at byte %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *wireReader) u16() (uint16, error) {
+	if r.remaining() < 2 {
+		return 0, frameErr("truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *wireReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, frameErr("truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *wireReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, frameErr("truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *wireReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *wireReader) i32() (int, error) {
+	v, err := r.u32()
+	return int(int32(v)), err
+}
+
+// appendFrameHeader writes the frame header with a placeholder length
+// and returns the offset to backpatch once the payload is written.
+func appendFrameHeader(b []byte, kind byte) ([]byte, int) {
+	b = append(b, wireMagic[:]...)
+	b = append(b, wireVersion, kind)
+	lenOff := len(b)
+	b = append(b, 0, 0, 0, 0)
+	return b, lenOff
+}
+
+// openFrame validates the header and returns the payload slice.
+func openFrame(data []byte, wantKind byte) ([]byte, error) {
+	if len(data) < frameHeaderLen {
+		return nil, frameErr("%d bytes, header needs %d", len(data), frameHeaderLen)
+	}
+	if [4]byte(data[:4]) != wireMagic {
+		return nil, frameErr("bad magic %q", data[:4])
+	}
+	if data[4] != wireVersion {
+		return nil, frameErr("unsupported version %d", data[4])
+	}
+	if data[5] != wantKind {
+		return nil, frameErr("kind %d, want %d", data[5], wantKind)
+	}
+	n := binary.LittleEndian.Uint32(data[6:])
+	if n > maxFramePayload {
+		return nil, frameErr("declared payload %d exceeds cap %d", n, maxFramePayload)
+	}
+	payload := data[frameHeaderLen:]
+	if uint32(len(payload)) != n {
+		return nil, frameErr("payload is %d bytes, header declares %d", len(payload), n)
+	}
+	return payload, nil
+}
+
+// EncodeInferRequest renders req as one binary frame. It errors when a
+// value does not fit the wire (client index or N beyond a byte, more
+// than 65535 pairs/triples, an option beyond int32) rather than
+// truncating; semantically invalid but representable values pass, to
+// be rejected by ToMeasurements on the receiving side exactly like
+// their JSON spelling.
+func EncodeInferRequest(req *InferRequest) ([]byte, error) {
+	m := &req.Measurements
+	if m.N < 0 || m.N > 255 {
+		return nil, fmt.Errorf("binary codec: n=%d does not fit the wire", m.N)
+	}
+	if len(m.P) > 255 {
+		return nil, fmt.Errorf("binary codec: %d marginals do not fit the wire", len(m.P))
+	}
+	if len(m.Pairs) > math.MaxUint16 || len(m.Triples) > math.MaxUint16 {
+		return nil, fmt.Errorf("binary codec: %d pairs / %d triples do not fit the wire",
+			len(m.Pairs), len(m.Triples))
+	}
+	size := frameHeaderLen + 1 + 8*len(m.P) + 2 + 10*len(m.Pairs) + 2 + 11*len(m.Triples) + 40
+	w := wireWriter{b: make([]byte, 0, size)}
+	var lenOff int
+	w.b, lenOff = appendFrameHeader(w.b, kindInferRequest)
+
+	w.u8(byte(m.N))
+	// The marginal count is implied by N on the wire; a mismatched P is
+	// only representable when it matches, so encode rejects the rest
+	// here (JSON would carry it to ToMeasurements, which rejects it the
+	// same way).
+	if len(m.P) != m.N {
+		return nil, fmt.Errorf("binary codec: %d marginals for n=%d", len(m.P), m.N)
+	}
+	for _, p := range m.P {
+		w.f64(p)
+	}
+	w.u16(uint16(len(m.Pairs)))
+	for _, pr := range m.Pairs {
+		if pr.I < 0 || pr.I > 255 || pr.J < 0 || pr.J > 255 {
+			return nil, fmt.Errorf("binary codec: pair (%d,%d) does not fit the wire", pr.I, pr.J)
+		}
+		w.u8(byte(pr.I))
+		w.u8(byte(pr.J))
+		w.f64(pr.P)
+	}
+	w.u16(uint16(len(m.Triples)))
+	for _, tr := range m.Triples {
+		if tr.I < 0 || tr.I > 255 || tr.J < 0 || tr.J > 255 || tr.K < 0 || tr.K > 255 {
+			return nil, fmt.Errorf("binary codec: triple (%d,%d,%d) does not fit the wire", tr.I, tr.J, tr.K)
+		}
+		w.u8(byte(tr.I))
+		w.u8(byte(tr.J))
+		w.u8(byte(tr.K))
+		w.f64(tr.P)
+	}
+	o := req.Options
+	if err := w.i32("max_iterations", o.MaxIterations); err != nil {
+		return nil, err
+	}
+	w.f64(o.Tolerance)
+	if err := w.i32("random_starts", o.RandomStarts); err != nil {
+		return nil, err
+	}
+	w.u64(o.Seed)
+	if err := w.i32("max_hts", o.MaxHTs); err != nil {
+		return nil, err
+	}
+	if err := w.i32("stall_limit", o.StallLimit); err != nil {
+		return nil, err
+	}
+	if err := w.i32("perturbations", o.Perturbations); err != nil {
+		return nil, err
+	}
+	if err := w.i32("timeout_ms", req.TimeoutMS); err != nil {
+		return nil, err
+	}
+
+	binary.LittleEndian.PutUint32(w.b[lenOff:], uint32(len(w.b)-frameHeaderLen))
+	return w.b, nil
+}
+
+// DecodeInferRequest parses one binary request frame into the same
+// wire struct the JSON decoder fills, so the downstream validation and
+// digest paths are codec-independent. Structural damage — short
+// frames, bad magic, a length field that disagrees with the body,
+// trailing bytes — errors without panicking.
+func DecodeInferRequest(data []byte) (*InferRequest, error) {
+	payload, err := openFrame(data, kindInferRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := wireReader{b: payload}
+	req := &InferRequest{}
+	m := &req.Measurements
+
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.N = int(n)
+	if n > 0 {
+		if r.remaining() < 8*int(n) {
+			return nil, frameErr("truncated marginals: %d bytes left for n=%d", r.remaining(), n)
+		}
+		m.P = make([]float64, n)
+		for i := range m.P {
+			m.P[i], _ = r.f64()
+		}
+	}
+	pairCount, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if pairCount > 0 {
+		if r.remaining() < 10*int(pairCount) {
+			return nil, frameErr("truncated pairs: %d bytes left for %d pairs", r.remaining(), pairCount)
+		}
+		m.Pairs = make([]PairProb, pairCount)
+		for i := range m.Pairs {
+			a, _ := r.u8()
+			b, _ := r.u8()
+			p, _ := r.f64()
+			m.Pairs[i] = PairProb{I: int(a), J: int(b), P: p}
+		}
+	}
+	tripleCount, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if tripleCount > 0 {
+		if r.remaining() < 11*int(tripleCount) {
+			return nil, frameErr("truncated triples: %d bytes left for %d triples", r.remaining(), tripleCount)
+		}
+		m.Triples = make([]TripleProb, tripleCount)
+		for i := range m.Triples {
+			a, _ := r.u8()
+			b, _ := r.u8()
+			c, _ := r.u8()
+			p, _ := r.f64()
+			m.Triples[i] = TripleProb{I: int(a), J: int(b), K: int(c), P: p}
+		}
+	}
+	if req.Options.MaxIterations, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if req.Options.Tolerance, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if req.Options.RandomStarts, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if req.Options.Seed, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if req.Options.MaxHTs, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if req.Options.StallLimit, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if req.Options.Perturbations, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if req.TimeoutMS, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, frameErr("%d trailing payload bytes", r.remaining())
+	}
+	return req, nil
+}
+
+// EncodeInferResponse renders resp as one binary frame. Client sets
+// travel as 64-bit membership masks, so a terminal containing a client
+// outside [0,64) is unrepresentable and errors (the solver cannot
+// produce one; only a hand-built response can).
+func EncodeInferResponse(resp *InferResponse) ([]byte, error) {
+	t := &resp.Topology
+	if t.N < 0 || t.N > 255 {
+		return nil, fmt.Errorf("binary codec: n=%d does not fit the wire", t.N)
+	}
+	if len(t.HTs) > math.MaxUint16 {
+		return nil, fmt.Errorf("binary codec: %d terminals do not fit the wire", len(t.HTs))
+	}
+	size := frameHeaderLen + 1 + 2 + 16*len(t.HTs) + 8 + 8 + 1 + 4 + 4
+	w := wireWriter{b: make([]byte, 0, size)}
+	var lenOff int
+	w.b, lenOff = appendFrameHeader(w.b, kindInferResponse)
+
+	w.u8(byte(t.N))
+	w.u16(uint16(len(t.HTs)))
+	for k, ht := range t.HTs {
+		var mask uint64
+		for _, c := range ht.Clients {
+			if c < 0 || c >= blueprint.MaxClients {
+				return nil, fmt.Errorf("binary codec: ht %d client %d does not fit the wire mask", k, c)
+			}
+			mask |= 1 << uint(c)
+		}
+		if bits.OnesCount64(mask) != len(ht.Clients) {
+			return nil, fmt.Errorf("binary codec: ht %d repeats a client", k)
+		}
+		w.f64(ht.Q)
+		w.u64(mask)
+	}
+	w.f64(resp.Violation)
+	w.f64(resp.MaxViolation)
+	if resp.Converged {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	if err := w.i32("starts", resp.Starts); err != nil {
+		return nil, err
+	}
+	if err := w.i32("iterations", resp.Iterations); err != nil {
+		return nil, err
+	}
+
+	binary.LittleEndian.PutUint32(w.b[lenOff:], uint32(len(w.b)-frameHeaderLen))
+	return w.b, nil
+}
+
+// DecodeInferResponse parses one binary response frame. Client masks
+// decode to ascending member lists, matching the canonical rendering
+// TopologyToWire produces, so binary→struct→JSON equals the JSON the
+// server would have sent directly.
+func DecodeInferResponse(data []byte) (*InferResponse, error) {
+	payload, err := openFrame(data, kindInferResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := wireReader{b: payload}
+	resp := &InferResponse{}
+
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	resp.Topology.N = int(n)
+	htCount, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if htCount > 0 {
+		if r.remaining() < 16*int(htCount) {
+			return nil, frameErr("truncated terminals: %d bytes left for %d", r.remaining(), htCount)
+		}
+		resp.Topology.HTs = make([]HTWire, htCount)
+		for i := range resp.Topology.HTs {
+			q, _ := r.f64()
+			mask, _ := r.u64()
+			members := make([]int, 0, bits.OnesCount64(mask))
+			for v := mask; v != 0; v &= v - 1 {
+				members = append(members, bits.TrailingZeros64(v))
+			}
+			resp.Topology.HTs[i] = HTWire{Q: q, Clients: members}
+		}
+	}
+	if resp.Violation, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if resp.MaxViolation, err = r.f64(); err != nil {
+		return nil, err
+	}
+	conv, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if conv > 1 {
+		return nil, frameErr("converged byte %d, want 0 or 1", conv)
+	}
+	resp.Converged = conv == 1
+	if resp.Starts, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if resp.Iterations, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, frameErr("%d trailing payload bytes", r.remaining())
+	}
+	return resp, nil
+}

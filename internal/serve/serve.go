@@ -35,8 +35,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -56,6 +58,7 @@ var (
 	obsRejected  = obs.GetCounter("serve_queue_reject_total")
 	obsTimeouts  = obs.GetCounter("serve_timeout_total")
 	obsBadReq    = obs.GetCounter("serve_bad_request_total")
+	obsBinary    = obs.GetCounter("serve_binary_total")
 	obsDrains    = obs.GetCounter("serve_drains_total")
 	obsQueueLen  = obs.GetGauge("serve_queue_depth")
 	obsLatency   = obs.GetHistogram("serve_latency_ms",
@@ -339,13 +342,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeBody(w, status, body)
+	writeBody(w, status, contentTypeJSON, body)
 }
 
-func writeBody(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+const contentTypeJSON = "application/json"
+
+func writeBody(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(status)
 	w.Write(body)
+}
+
+// mediaType extracts the bare media type from a Content-Type or Accept
+// header element, dropping parameters and normalizing case.
+func mediaType(v string) string {
+	if i := strings.IndexByte(v, ';'); i >= 0 {
+		v = v[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(v))
+}
+
+// acceptsBinary reports whether any element of the Accept header names
+// the binary codec.
+func acceptsBinary(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if mediaType(part) == ContentTypeBinary {
+			return true
+		}
+	}
+	return false
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -397,11 +422,35 @@ func submitErrToStatus(err error) (int, string) {
 	}
 }
 
+// binaryKeySalt separates the binary-response cache/flight keyspace
+// from the JSON one: flights and the cache hold fully-encoded bodies,
+// so a request asking for a binary response can never be answered from
+// (or coalesced onto) a JSON rendering of the same digest, and vice
+// versa. The request codec needs no salt — both decode into the same
+// wire structs before digesting.
+const binaryKeySalt = 0x9e3779b97f4a7c15
+
 // handleInfer is POST /v1/infer: measurements → inferred blueprint,
 // with digest-keyed caching and coalescing in front of the solver.
+// Request and response bodies are JSON by default; a Content-Type of
+// ContentTypeBinary declares a binary request frame and an Accept
+// naming it selects a binary response frame (errors stay JSON).
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var req InferRequest
-	if err := decode(r, &req); err != nil {
+	if mediaType(r.Header.Get("Content-Type")) == ContentTypeBinary {
+		obsBinary.Inc()
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		dec, err := DecodeInferRequest(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		req = *dec
+	} else if err := decode(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -413,10 +462,23 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	opts := req.Options.ToInferOptions()
 	opts.Parallelism = s.cfg.SolverParallelism
 	key := digestInfer(m, opts)
+	binaryResp := acceptsBinary(r)
+	if binaryResp {
+		obsBinary.Inc()
+		key ^= binaryKeySalt
+	}
+	// Success bodies carry the negotiated codec; every error rendering
+	// below is JSON regardless.
+	ctFor := func(status int) string {
+		if status == http.StatusOK && binaryResp {
+			return ContentTypeBinary
+		}
+		return contentTypeJSON
+	}
 
 	if body, ok := s.cache.get(key); ok {
 		w.Header().Set("X-Blu-Cache", "hit")
-		writeBody(w, http.StatusOK, body)
+		writeBody(w, http.StatusOK, ctFor(http.StatusOK), body)
 		return
 	}
 	w.Header().Set("X-Blu-Cache", "miss")
@@ -426,10 +488,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	f, leader := s.flights.join(key)
 	if !leader {
-		// Coalesced: wait for the leader's published result.
+		// Coalesced: wait for the leader's published result. The salted
+		// key guarantees the leader encoded with this request's codec.
 		select {
 		case <-f.done:
-			writeBody(w, f.status, f.body)
+			writeBody(w, f.status, ctFor(f.status), f.body)
 		case <-ctx.Done():
 			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 		}
@@ -463,8 +526,20 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			Starts:       res.Starts,
 			Iterations:   res.Iterations,
 		}
-		body, _ = json.Marshal(resp)
-		s.cache.put(key, body)
+		var encErr error
+		if binaryResp {
+			body, encErr = EncodeInferResponse(&resp)
+		} else {
+			body, encErr = json.Marshal(resp)
+		}
+		if encErr != nil {
+			// Unreachable for solver output (N and client sets are
+			// validated), kept as a real branch so a future wire change
+			// fails loudly instead of caching a half-written frame.
+			status, body = http.StatusInternalServerError, errorBody(encErr.Error())
+		} else {
+			s.cache.put(key, body)
+		}
 	}
 	// Publish to followers before answering, so the flight never
 	// outlives its leader.
@@ -476,7 +551,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if status == http.StatusGatewayTimeout {
 		obsTimeouts.Inc()
 	}
-	writeBody(w, status, body)
+	writeBody(w, status, ctFor(status), body)
 }
 
 // handleJoint is POST /v1/joint: topology + clear/blocked sets →

@@ -186,10 +186,10 @@ type InferResponse struct {
 // JointRequest is the POST /v1/joint body: a topology plus disjoint
 // clear/blocked client sets.
 type JointRequest struct {
-	Topology TopologyWire `json:"topology"`
-	Clear    []int        `json:"clear,omitempty"`
-	Blocked  []int        `json:"blocked,omitempty"`
-	TimeoutMS int         `json:"timeout_ms,omitempty"`
+	Topology  TopologyWire `json:"topology"`
+	Clear     []int        `json:"clear,omitempty"`
+	Blocked   []int        `json:"blocked,omitempty"`
+	TimeoutMS int          `json:"timeout_ms,omitempty"`
 }
 
 // JointResponse reports P(clear, blocked̄) plus each client's marginal.
