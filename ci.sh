@@ -46,16 +46,18 @@ echo "== kernel smoke =="
 # The scheduler and inference hot paths must stay allocation-free in
 # steady state and byte-identical across cache bounds and parallelism:
 # re-run the AllocsPerRun ceilings and the golden trace tests for both
-# kernels plus the binary-codec ceilings, then a short blubench
-# scheduler+codec run whose BENCH JSON must pass blumanifest's schema
-# check (parse, invariants, round-trip) with all scheduler and codec
-# entries and nonzero cache-hit counters present.
+# kernels — cold inference and the warm-started §3.7 refresh repair —
+# plus the binary-codec ceilings, then a short blubench
+# scheduler+codec+warm-start run whose BENCH JSON must pass
+# blumanifest's schema check (parse, invariants, round-trip) with all
+# scheduler, codec, warm-start, and observe entries and nonzero
+# cache-hit counters present.
 go test $short -run 'TestScheduleSteadyStateAllocs|TestScheduleTraceGolden|TestScheduleTraceCacheBoundInvariance' ./internal/sched/
-go test $short -run 'TestInferAllocCeiling|TestInferTraceGolden|TestDeltaSpecializationsExact' ./internal/blueprint/
+go test $short -run 'TestInferAllocCeiling|TestInferTraceGolden|TestDeltaSpecializationsExact|TestWarmStart' ./internal/blueprint/
 go test $short -run 'TestCodecAllocCeiling|TestBinaryCodec' ./internal/serve/
 go run ./cmd/blubench -sched -o "$obsdir/bench_sched.json" >/dev/null
 go run ./cmd/blumanifest -bench \
-  -require-entry Schedule/PF,Schedule/AA,Schedule/BLU,Codec/JSON,Codec/Binary \
+  -require-entry Schedule/PF,Schedule/AA,Schedule/BLU,Codec/JSON,Codec/Binary,Infer/WarmStartCold,Infer/WarmStart,Serve/Observe \
   -require sched_blu_cache_hit_total,sched_joint_cache_hit_total,sched_blu_scratch_reuse_total \
   "$obsdir/bench_sched.json"
 
@@ -113,11 +115,21 @@ go run ./cmd/blumanifest -bench \
   -require-entry Serve/infer \
   -require serve_requests_total,serve_binary_total \
   "$obsdir/bench_serve_bin.json"
+# A third run drives the streaming refresh loop: observe batches fold
+# into session windows while session-keyed infers solve from the live
+# estimate, so the digest-delta invalidation path must fire for real —
+# nonzero serve_observe_total and serve_invalidation_total prove
+# batches folded AND moved digests under cached results.
+"$obsdir/bluload" -addr "$addr" -seed 7 -c 4 -n 200 -mix observe -o "$obsdir/bench_serve_obs.json" >/dev/null
+go run ./cmd/blumanifest -bench \
+  -require-entry Serve/infer,Serve/observe \
+  -require serve_requests_total,serve_observe_total,serve_invalidation_total \
+  "$obsdir/bench_serve_obs.json"
 kill -TERM "$blud_pid"
 wait "$blud_pid"
 blud_pid=""
 go run ./cmd/blumanifest \
-  -require serve_requests_total,serve_cache_hit_total,serve_infer_total,serve_joint_total,serve_schedule_total \
+  -require serve_requests_total,serve_cache_hit_total,serve_infer_total,serve_joint_total,serve_schedule_total,serve_observe_total,serve_invalidation_total \
   "$obsdir/blud_manifest.json"
 
 echo "ci: all clean"

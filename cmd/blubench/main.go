@@ -9,9 +9,9 @@
 //
 //	blubench [-o BENCH_baseline.json] [-sched] [-metrics file] [-pprof addr]
 //
-// With -sched only the scheduler and wire-codec sections run — a
-// seconds-scale subset CI uses as its kernel-smoke gate (the full
-// inference sweep takes minutes). The determinism test suite
+// With -sched only the scheduler, wire-codec, warm-start, and
+// /v1/observe sections run — a seconds-scale subset CI uses as its
+// kernel-smoke gate (the full inference sweep takes minutes). The determinism test suite
 // guarantees every parallelism setting returns the identical topology,
 // so each speedup line is a pure wall-clock comparison of the same
 // computation.
@@ -24,13 +24,19 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"blu"
 	"blu/internal/blueprint"
@@ -157,6 +163,12 @@ func run(args []string) error {
 		return err
 	}
 	if err := recordCodecs(record); err != nil {
+		return err
+	}
+	if err := recordWarmStart(record, base); err != nil {
+		return err
+	}
+	if err := recordObserve(record); err != nil {
 		return err
 	}
 
@@ -298,6 +310,90 @@ func recordCodecs(record func(string, func(int) error) obs.BenchEntry) error {
 		_, err = serve.DecodeInferResponse(respBody)
 		return err
 	})
+	return nil
+}
+
+// recordWarmStart measures the §3.7 refresh economics: the same
+// drifted instance solved cold (full multi-start fan-out) and solved
+// warm from the pre-drift blueprint, where one repair chain probes the
+// seed and the fan-out is skipped once it converges. The speedup line
+// is the refresh discount the daemon's session infers ride on. The
+// drift exceeds the solver tolerance so the repair must actually move —
+// a verbatim warm hit would measure only the residual check.
+func recordWarmStart(record func(string, func(int) error) obs.BenchEntry, base *obs.BenchReport) error {
+	prev := randomTopo(12, 6, 7)
+	drifted := &blueprint.Topology{N: prev.N, HTs: append([]blueprint.HiddenTerminal(nil), prev.HTs...)}
+	for k := range drifted.HTs {
+		drifted.HTs[k].Q += 0.03
+	}
+	meas := drifted.Measure()
+	cold := record("Infer/WarmStartCold", func(int) error {
+		_, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: 21})
+		return err
+	})
+	warm := record("Infer/WarmStart", func(int) error {
+		_, err := blueprint.Infer(meas, blueprint.InferOptions{Seed: 21, WarmStart: prev})
+		return err
+	})
+	if warm.NsPerOp > 0 {
+		base.Speedups["Infer/WarmStart_vs_cold"] = float64(cold.NsPerOp) / float64(warm.NsPerOp)
+	}
+	return nil
+}
+
+// recordObserve measures one /v1/observe round trip — HTTP transport,
+// decode, validation, session fold, digest — against an in-process
+// daemon: the per-batch ingestion cost a streaming client pays.
+func recordObserve(record func(string, func(int) error) obs.BenchEntry) error {
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	req := serve.ObserveRequest{Session: "bench", N: 8}
+	r := rng.New(17).Split("observe-bench")
+	for o := 0; o < 16; o++ {
+		var ob serve.ObservationWire
+		for c := 0; c < req.N; c++ {
+			if r.Intn(4) > 0 {
+				ob.Scheduled = append(ob.Scheduled, c)
+				if r.Intn(3) > 0 {
+					ob.Accessed = append(ob.Accessed, c)
+				}
+			}
+		}
+		req.Observations = append(req.Observations, ob)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := ts.Client()
+	return checkBench(record("Serve/Observe", func(int) error {
+		resp, err := client.Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("observe: status %d", resp.StatusCode)
+		}
+		return nil
+	}))
+}
+
+// checkBench guards against a benchmark that silently measured nothing.
+func checkBench(e obs.BenchEntry) error {
+	if e.NsPerOp <= 0 {
+		return fmt.Errorf("%s: implausible %d ns/op", e.Name, e.NsPerOp)
+	}
 	return nil
 }
 

@@ -1,10 +1,18 @@
 // Command blud serves the BLU controller over HTTP/JSON: topology
-// inference (POST /v1/infer), joint access distributions
-// (POST /v1/joint), and subframe scheduling (POST /v1/schedule), plus
-// /healthz and a /metrics snapshot of the obs registry.
+// inference (POST /v1/infer), streaming access-outcome ingestion
+// (POST /v1/observe), joint access distributions (POST /v1/joint), and
+// subframe scheduling (POST /v1/schedule), plus /healthz and a
+// /metrics snapshot of the obs registry.
 //
-// The infer endpoint also speaks a compact length-prefixed binary
-// codec: send the request with
+// /v1/observe folds per-subframe access outcomes into a bounded
+// windowed estimator keyed by a session (topology) id; an infer naming
+// the session instead of carrying measurements inline is solved from
+// the session's live estimate, warm-started from its previous
+// blueprint, and its cached result is invalidated exactly when the
+// session's measurement digest moves.
+//
+// The infer and observe endpoints also speak a compact length-prefixed
+// binary codec: send the request with
 // "Content-Type: application/x-blu-binary" and/or ask for a binary
 // response via the Accept header (see internal/serve/codec.go for the
 // frame spec; bluload -codec binary drives it). Errors are always
@@ -25,6 +33,10 @@
 //	-queue n         work-queue depth; beyond it requests get 429 +
 //	                 Retry-After (default 64)
 //	-cache n         infer result-cache entries (default 1024, -1 off)
+//	-sessions n      live observe-session bound; past it the LRU
+//	                 session is evicted (default 256)
+//	-window n        windowed-estimator capacity in sealed epochs
+//	                 (default 64)
 //	-timeout d       default per-request deadline (default 30s)
 //	-max-timeout d   cap on client-supplied timeout_ms (default 2m)
 //	-manifest file   write a JSON run manifest here on shutdown
@@ -61,6 +73,8 @@ func run(args []string) error {
 	solverPar := fs.Int("solver-parallel", 1, "per-inference solver parallelism")
 	queue := fs.Int("queue", 64, "work-queue depth (full queue answers 429)")
 	cache := fs.Int("cache", 1024, "infer result-cache entries (-1 disables)")
+	sessions := fs.Int("sessions", 256, "live observe-session bound (LRU beyond it)")
+	window := fs.Int("window", 64, "windowed-estimator capacity in sealed epochs")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client timeout_ms")
 	manifest := fs.String("manifest", "", "write a JSON run manifest to this file on shutdown")
@@ -88,6 +102,8 @@ func run(args []string) error {
 		SolverParallelism: *solverPar,
 		QueueDepth:        *queue,
 		CacheEntries:      *cache,
+		MaxSessions:       *sessions,
+		WindowEpochs:      *window,
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		ManifestPath:      *manifest,

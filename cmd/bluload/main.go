@@ -19,14 +19,25 @@
 //	-n n         total requests (default 300; ignored when -duration set)
 //	-duration d  run for a wall-clock window instead of a fixed count
 //	-qps q       paced request rate (0 = unpaced closed loop)
+//	-mix m       traffic mix: default (60% inline infer / 20% joint /
+//	             20% schedule) or observe (30% /v1/observe batches, 30%
+//	             session-keyed infers solved from the live windowed
+//	             estimate, 20% joint, 20% schedule — the streaming
+//	             refresh loop under load). Sessions are pre-seeded
+//	             synchronously before the window starts, so no worker
+//	             races a 404.
 //	-codec c     infer wire codec: json (default) or binary — binary
 //	             sends serve's length-prefixed frames and asks for them
 //	             back via Accept, so comparing the two runs isolates
-//	             the JSON tax (joint/schedule stay JSON either way)
+//	             the JSON tax (joint/schedule stay JSON either way). In
+//	             the observe mix, binary applies to the observe frames;
+//	             session infers stay JSON so the cache/invalidation
+//	             path is driven identically under both codecs.
 //	-o file      write an obs.BenchReport JSON (entries Serve/infer,
-//	             Serve/joint, Serve/schedule; the server's /metrics
-//	             snapshot is embedded so its serve_cache_* counters ride
-//	             along)
+//	             Serve/joint, Serve/schedule, and Serve/observe in the
+//	             observe mix; the server's /metrics snapshot is
+//	             embedded so its serve_cache_* and serve_observe_*
+//	             counters ride along)
 //
 // Exit status is nonzero when any request fails (transport error or a
 // status other than 200/429; 429s are backpressure, counted but not
@@ -61,22 +72,31 @@ func main() {
 	}
 }
 
-// endpoint indexes the three request kinds.
+// endpoint indexes the request kinds.
 const (
 	epInfer = iota
 	epJoint
 	epSchedule
+	epObserve
 	numEndpoints
 )
 
-var epNames = [numEndpoints]string{"Serve/infer", "Serve/joint", "Serve/schedule"}
-var epPaths = [numEndpoints]string{"/v1/infer", "/v1/joint", "/v1/schedule"}
+var epNames = [numEndpoints]string{"Serve/infer", "Serve/joint", "Serve/schedule", "Serve/observe"}
+var epPaths = [numEndpoints]string{"/v1/infer", "/v1/joint", "/v1/schedule", "/v1/observe"}
 
 // payloadPool is the seeded request corpus: a small pool per endpoint,
 // cycled by request index. The infer pool is deliberately smaller than
 // typical request counts so repeats exercise the daemon's result cache.
 type payloadPool struct {
 	byEndpoint [numEndpoints][][]byte
+	// binaryEp marks endpoints whose bodies are binary frames, so the
+	// worker sets the matching Content-Type/Accept headers.
+	binaryEp [numEndpoints]bool
+	mix      string
+	// seedObserve holds one observe batch per session, posted
+	// synchronously before the measurement window so every session a
+	// worker's infer names already exists.
+	seedObserve [][]byte
 }
 
 // buildPool synthesizes the corpus from seed alone. Topologies are
@@ -86,9 +106,11 @@ type payloadPool struct {
 // binaryInfer the infer bodies are serve's binary frames instead of
 // JSON — the same requests byte-for-byte after decoding, so the two
 // codecs hit identical cache/coalescing keys on the server.
-func buildPool(seed uint64, binaryInfer bool) *payloadPool {
+func buildPool(seed uint64, binaryInfer bool, mix string) *payloadPool {
 	r := rng.New(seed).Split("payloads")
-	pool := &payloadPool{}
+	pool := &payloadPool{mix: mix}
+	pool.binaryEp[epInfer] = binaryInfer && mix != "observe"
+	pool.binaryEp[epObserve] = binaryInfer
 	const inferPayloads, jointPayloads, schedPayloads = 8, 16, 16
 
 	randTopo := func(r *rng.Source) *blueprint.Topology {
@@ -163,15 +185,76 @@ func buildPool(seed uint64, binaryInfer bool) *payloadPool {
 		})
 		pool.byEndpoint[epSchedule] = append(pool.byEndpoint[epSchedule], body)
 	}
+
+	// Observe mix: the infer pool becomes session-keyed infers (always
+	// JSON — the binary codec flag moves to the observe frames) and an
+	// observe pool feeds those sessions. Every body for one session
+	// shares its client count, or the daemon would answer 409.
+	if mix == "observe" {
+		ro := r.Split("observe")
+		sessions := [4]string{"load-a", "load-b", "load-c", "load-d"}
+		var ns [len(sessions)]int
+		for si := range ns {
+			ns[si] = 4 + ro.Intn(6)
+		}
+		const observePayloads = 16
+		for k := 0; k < observePayloads; k++ {
+			si := k % len(sessions)
+			req := serve.ObserveRequest{
+				Session: sessions[si],
+				N:       ns[si],
+				// Seal every fourth batch so epochs rotate through the
+				// daemon's window and digests keep moving.
+				Seal: k%4 == 3,
+			}
+			for o := 0; o < 8; o++ {
+				var ob serve.ObservationWire
+				for c := 0; c < ns[si]; c++ {
+					if ro.Intn(4) > 0 {
+						ob.Scheduled = append(ob.Scheduled, c)
+						if ro.Intn(3) > 0 {
+							ob.Accessed = append(ob.Accessed, c)
+						}
+					}
+				}
+				req.Observations = append(req.Observations, ob)
+			}
+			var body []byte
+			if binaryInfer {
+				body, _ = serve.EncodeObserveRequest(&req)
+			} else {
+				body, _ = json.Marshal(req)
+			}
+			pool.byEndpoint[epObserve] = append(pool.byEndpoint[epObserve], body)
+			if k < len(sessions) {
+				pool.seedObserve = append(pool.seedObserve, body)
+			}
+		}
+		pool.byEndpoint[epInfer] = pool.byEndpoint[epInfer][:0]
+		for k := 0; k < inferPayloads; k++ {
+			body, _ := json.Marshal(serve.InferRequest{
+				Session: sessions[k%len(sessions)],
+				Options: serve.InferOptionsWire{Seed: 100 + uint64(k%len(sessions))},
+			})
+			pool.byEndpoint[epInfer] = append(pool.byEndpoint[epInfer], body)
+		}
+	}
 	return pool
 }
 
 // pick maps a request index onto (endpoint, payload), the deterministic
-// mix: 60% infer (cycling a small pool, so the cache sees repeats),
-// 20% joint, 20% schedule.
+// mix. Default: 60% infer (cycling a small pool, so the cache sees
+// repeats), 20% joint, 20% schedule. Observe mix: 30% observe, 30%
+// session infer, 20% joint, 20% schedule — observes and session infers
+// interleave on the same sessions, so digests move under in-flight
+// infers and the invalidation path runs for real.
 func (p *payloadPool) pick(idx int64) (int, []byte) {
 	ep := epInfer
 	switch idx % 10 {
+	case 0, 1, 2:
+		if p.mix == "observe" {
+			ep = epObserve
+		}
 	case 6, 7:
 		ep = epJoint
 	case 8, 9:
@@ -199,6 +282,7 @@ func run(args []string) error {
 	total := fs.Int64("n", 300, "total requests (ignored when -duration is set)")
 	duration := fs.Duration("duration", 0, "run for this long instead of a fixed count")
 	qps := fs.Float64("qps", 0, "paced request rate (0 = unpaced)")
+	mix := fs.String("mix", "default", "traffic mix: default or observe")
 	codec := fs.String("codec", "json", "infer wire codec: json or binary")
 	out := fs.String("o", "", "write an obs.BenchReport JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -213,6 +297,9 @@ func run(args []string) error {
 	if *codec != "json" && *codec != "binary" {
 		return fmt.Errorf("-codec must be json or binary, got %q", *codec)
 	}
+	if *mix != "default" && *mix != "observe" {
+		return fmt.Errorf("-mix must be default or observe, got %q", *mix)
+	}
 	binaryInfer := *codec == "binary"
 	base := "http://" + *addr
 
@@ -221,8 +308,16 @@ func run(args []string) error {
 		return err
 	}
 
-	pool := buildPool(*seed, binaryInfer)
+	pool := buildPool(*seed, binaryInfer, *mix)
 	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Observe mix: mint every session synchronously before workers
+	// start, so no concurrent session infer races its creation to a 404.
+	for i, body := range pool.seedObserve {
+		if err := postSeed(client, base+epPaths[epObserve], body, pool.binaryEp[epObserve]); err != nil {
+			return fmt.Errorf("session pre-seed %d: %w", i, err)
+		}
+	}
 	var next atomic.Int64
 	start := time.Now()
 	deadline := time.Time{}
@@ -256,7 +351,7 @@ func run(args []string) error {
 				ep, body := pool.pick(idx)
 				t0 := time.Now()
 				hreq, _ := http.NewRequest(http.MethodPost, base+epPaths[ep], bytes.NewReader(body))
-				if ep == epInfer && binaryInfer {
+				if pool.binaryEp[ep] {
 					hreq.Header.Set("Content-Type", serve.ContentTypeBinary)
 					hreq.Header.Set("Accept", serve.ContentTypeBinary)
 				} else {
@@ -322,11 +417,14 @@ func run(args []string) error {
 		GoVersion:   runtime.Version(),
 		GitDescribe: obs.GitDescribe(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Note:        fmt.Sprintf("bluload seed=%d c=%d codec=%s against %s", *seed, *conc, *codec, *addr),
+		Note:        fmt.Sprintf("bluload seed=%d c=%d mix=%s codec=%s against %s", *seed, *conc, *mix, *codec, *addr),
 	}
 	for ep := 0; ep < numEndpoints; ep++ {
 		lats := merged.latencies[ep]
 		if len(lats) == 0 {
+			if len(pool.byEndpoint[ep]) == 0 {
+				continue // endpoint not in this mix
+			}
 			fmt.Printf("  %-16s no completed requests\n", epNames[ep])
 			continue
 		}
@@ -376,6 +474,30 @@ func run(args []string) error {
 	}
 	if totalOK == 0 {
 		return fmt.Errorf("no requests completed")
+	}
+	return nil
+}
+
+// postSeed issues one synchronous observe outside the measurement
+// window; anything but 200 aborts the run before workers launch.
+func postSeed(client *http.Client, url string, body []byte, binary bool) error {
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if binary {
+		hreq.Header.Set("Content-Type", serve.ContentTypeBinary)
+	} else {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rbody, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%d %s", resp.StatusCode, bytes.TrimSpace(rbody))
 	}
 	return nil
 }

@@ -14,31 +14,45 @@ package access
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"blu/internal/blueprint"
 )
 
 // FMin returns the paper's lower bound ⌈C(N,2)/C(K,2)·T⌉ on measurement
 // subframes needed to sample every client pair T times with K clients
-// per subframe.
+// per subframe. K is clamped to N the way BuildPlan clamps it (a
+// subframe cannot schedule more distinct clients than exist), and the
+// result is floored at T: even a single subframe covering every pair
+// must still be repeated T times to sample each pair T times.
 func FMin(n, k, t int) int {
 	if n < 2 || k < 2 || t <= 0 {
 		return 0
 	}
+	if k > n {
+		k = n
+	}
 	pairsAll := float64(n*(n-1)) / 2
 	pairsPerSF := float64(k*(k-1)) / 2
-	return int(math.Ceil(pairsAll / pairsPerSF * float64(t)))
+	f := int(math.Ceil(pairsAll / pairsPerSF * float64(t)))
+	return max(f, t)
 }
 
 // JointOverhead returns the minimum subframes needed to measure every
 // k-client joint distribution T times (the ⌈C(N,k)/C(K,k)·T⌉ cost BLU
 // avoids). It returns 0 if k > K (infeasible: such tuples can never be
 // co-scheduled), mirroring the paper's infeasibility observation.
+// Like FMin, the per-subframe budget is clamped to N and the result is
+// floored at T.
 func JointOverhead(n, schedK, tupleK, t int) int {
+	if schedK > n {
+		schedK = n
+	}
 	if tupleK > schedK || tupleK > n || tupleK < 1 || t <= 0 {
 		return 0
 	}
-	return int(math.Ceil(binom(n, tupleK) / binom(schedK, tupleK) * float64(t)))
+	f := int(math.Ceil(binom(n, tupleK) / binom(schedK, tupleK) * float64(t)))
+	return max(f, t)
 }
 
 func binom(n, k int) float64 {
@@ -236,17 +250,48 @@ func NewEstimator(n int) *Estimator {
 // holding grants, accessed the subset of them that passed CCA (pilot
 // received at the eNB — collision and fading outcomes still count as
 // accessed, per the Section 3.3 loss classification).
+//
+// A subframe's grant list is a set: duplicate indices are folded to one
+// occurrence (a client either held a grant in the subframe or it did
+// not), and out-of-range indices are ignored. Without the dedup, a
+// duplicated grant entry would weight that subframe's outcome twice in
+// the marginal ratios — biasing p(i) toward whatever happened in
+// malformed subframes — and write to the unused schedIJ diagonal. The
+// grant list is caller-controlled input on the /v1/observe wire path,
+// so hygiene lives here, not in the callers.
 func (e *Estimator) Record(scheduled []int, accessed blueprint.ClientSet) {
-	for ai, a := range scheduled {
-		e.schedI[a]++
-		if accessed.Has(a) {
-			e.accessI[a]++
+	e.recordSet(scheduledSet(scheduled, e.n), accessed, 1)
+}
+
+// scheduledSet canonicalizes a grant list into a client set, dropping
+// duplicates and out-of-range indices.
+func scheduledSet(scheduled []int, n int) blueprint.ClientSet {
+	var set blueprint.ClientSet
+	for _, a := range scheduled {
+		if a < 0 || a >= n || a >= blueprint.MaxClients {
+			continue
 		}
-		for _, b := range scheduled[ai+1:] {
-			i, j := min(a, b), max(a, b)
-			e.schedIJ[i][j]++
+		set = set.Add(a)
+	}
+	return set
+}
+
+// recordSet folds one canonical observation into the counters with the
+// given weight. delta is +1 for Record and negative when a Window
+// retires an epoch; the bit loops guarantee i < j on every pair so the
+// diagonal is never touched and each pair is counted exactly once.
+func (e *Estimator) recordSet(set blueprint.ClientSet, accessed blueprint.ClientSet, delta int) {
+	for v := uint64(set); v != 0; v &= v - 1 {
+		a := bits.TrailingZeros64(v)
+		e.schedI[a] += delta
+		if accessed.Has(a) {
+			e.accessI[a] += delta
+		}
+		for w := v & (v - 1); w != 0; w &= w - 1 {
+			b := bits.TrailingZeros64(w)
+			e.schedIJ[a][b] += delta
 			if accessed.Has(a) && accessed.Has(b) {
-				e.accessIJ[i][j]++
+				e.accessIJ[a][b] += delta
 			}
 		}
 	}

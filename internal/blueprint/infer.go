@@ -21,6 +21,8 @@ var (
 	obsInferIters   = obs.GetCounter("blueprint_repair_iterations_total")
 	obsConverged    = obs.GetCounter("blueprint_converged_total")
 	obsScratchReuse = obs.GetCounter("blueprint_scratch_reuse_total")
+	obsWarmStarts   = obs.GetCounter("blueprint_warm_starts_total")
+	obsWarmHits     = obs.GetCounter("blueprint_warm_hits_total")
 	obsLastViol     = obs.GetGauge("blueprint_last_violation")
 	obsLastMaxViol  = obs.GetGauge("blueprint_last_max_violation")
 	obsResidualHist = obs.GetHistogram("blueprint_violation_residual",
@@ -55,6 +57,22 @@ type InferOptions struct {
 	// and repaired again, escaping local optima the greedy repair
 	// cannot leave on its own.
 	Perturbations int
+	// WarmStart, when non-nil, seeds one extra repair chain from this
+	// topology — typically the previous refresh cycle's blueprint — so a
+	// small measurement delta costs a small repair instead of a cold
+	// multi-start. When the warm chain already satisfies every
+	// constraint within Tolerance, inference returns it without fanning
+	// out the cold starts at all; otherwise the warm result competes in
+	// the reduction (considered first, so exact ties keep the previous
+	// blueprint — hysteresis against flapping between equivalent
+	// topologies). The warm chain draws from its own rng stream derived
+	// from (Seed, "warm"), so a nil WarmStart leaves every cold-start
+	// stream — and therefore the inferred result — untouched. A
+	// WarmStart whose N disagrees with the measurements is ignored.
+	// Terminals with out-of-range clients or degenerate quiet
+	// probabilities are dropped from the seed rather than erroring: a
+	// stale blueprint is a hint, never a constraint.
+	WarmStart *Topology
 	// Parallelism bounds the worker goroutines running the independent
 	// starts (0 = GOMAXPROCS, 1 = fully sequential). Each start draws
 	// from its own rng stream derived from (Seed, start index) and the
@@ -189,6 +207,53 @@ func InferContext(ctx context.Context, m *Measurements, opts InferOptions) (*Inf
 		return finishInfer(target, solution{total: probe.bestTotal, hts: probe.bestHTs}, opts, 1, probeIters), nil
 	}
 
+	// Warm start: one chain seeded from the previous blueprint, on its
+	// own rng stream so the cold starts below are byte-identical with or
+	// without it. A small measurement delta usually leaves the previous
+	// topology within a few repair moves of feasible; when the warm
+	// chain converges, the whole multi-start fan-out is skipped — that
+	// early exit is the streaming refresh loop's speedup.
+	var warm chainResult
+	if opts.WarmStart != nil && opts.WarmStart.N == m.N {
+		if obs.Enabled() {
+			obsWarmStarts.Inc()
+		}
+		// A sane seed that already satisfies every constraint is returned
+		// verbatim (a fresh copy, never an alias): re-solving it could only
+		// wobble Q within float noise, and the serving refresh loop depends
+		// on the fixed point — unchanged measurements + unchanged seed →
+		// bit-identical blueprint → stable cache key.
+		if topo, total, maxViol, ok := warmVerbatim(target, opts.WarmStart, opts.Tolerance); ok {
+			if obs.Enabled() {
+				obsWarmHits.Inc()
+			}
+			res := &InferResult{
+				Topology: topo, Violation: total, MaxViolation: maxViol,
+				Converged: true, Starts: 2, Iterations: probeIters,
+			}
+			if obs.Enabled() {
+				obsInfers.Inc()
+				obsInferStarts.Add(int64(res.Starts))
+				obsInferIters.Add(int64(res.Iterations))
+				obsConverged.Inc()
+				obsLastViol.Set(res.Violation)
+				obsLastMaxViol.Set(res.MaxViolation)
+				obsResidualHist.Observe(res.Violation)
+			}
+			return res, nil
+		}
+		warm = runChain(ctx, target, opts, nil, warmStartTopo(target, opts.WarmStart), opts.Perturbations, root.Split("warm"))
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrAborted, err)
+		}
+		if warm.ok && warm.sol.total <= opts.Tolerance {
+			if obs.Enabled() {
+				obsWarmHits.Inc()
+			}
+			return finishInfer(target, warm.sol, opts, 1+warm.starts, probeIters+warm.iters), nil
+		}
+	}
+
 	// Fan out: every start — structured or random — together with its
 	// iterated-local-search chain is one independent task whose rng
 	// streams depend only on (Seed, task index), so each task computes
@@ -232,6 +297,14 @@ func InferContext(ctx context.Context, m *Measurements, opts InferOptions) (*Inf
 	var best solution
 	haveBest := false
 	starts, iters := 0, probeIters
+	if warm.ok {
+		// The warm result enters the reduction first: a cold start must
+		// be strictly better to displace the previous blueprint.
+		best = warm.sol
+		haveBest = true
+	}
+	starts += warm.starts
+	iters += warm.iters
 	for i := range chains {
 		cr := &chains[i]
 		starts += cr.starts
@@ -1235,4 +1308,54 @@ func randomStart(t *Transformed, opts InferOptions, r *rng.Source) startTopo {
 		start = append(start, ht{Q: q, clients: set})
 	}
 	return start
+}
+
+// warmStartTopo converts a previous blueprint into a solver start.
+// Probabilities move to the −log domain; terminals that cannot seed a
+// valid solver state — empty or out-of-range edge sets, q outside
+// (0, 1) — are dropped, and near-certain q is capped at maxQ so a stale
+// blueprint can never inject an infinite constraint sum.
+func warmStartTopo(t *Transformed, topo *Topology) startTopo {
+	full := fullSet(t.N)
+	st := make(startTopo, 0, len(topo.HTs))
+	for _, h := range topo.HTs {
+		clients := h.Clients.Intersect(full)
+		if clients.Empty() {
+			continue
+		}
+		Q := QFromProb(h.Q)
+		if math.IsNaN(Q) || Q <= 0 {
+			continue
+		}
+		if Q > maxQ {
+			Q = maxQ
+		}
+		st = append(st, ht{Q: Q, clients: clients})
+	}
+	return st
+}
+
+// warmVerbatim reports whether a warm seed can be returned unchanged:
+// every terminal must be one the solver itself could have produced
+// (clients inside [0, n), q in (0, 1) below the maxQ cap) and the seed
+// must already satisfy every constraint of the new measurements within
+// tolerance. On success it returns a fresh copy of the seed plus its
+// residuals; any defect falls back to the warm repair chain.
+func warmVerbatim(t *Transformed, prev *Topology, tol float64) (*Topology, float64, float64, bool) {
+	full := fullSet(t.N)
+	for _, h := range prev.HTs {
+		if h.Clients.Empty() || h.Clients.Intersect(full) != h.Clients {
+			return nil, 0, 0, false
+		}
+		Q := QFromProb(h.Q)
+		if math.IsNaN(Q) || Q <= 0 || Q > maxQ {
+			return nil, 0, 0, false
+		}
+	}
+	total, maxViol := Residual(t, prev)
+	if !(total <= tol) {
+		return nil, 0, 0, false
+	}
+	topo := &Topology{N: prev.N, HTs: append([]HiddenTerminal(nil), prev.HTs...)}
+	return topo, total, maxViol, true
 }

@@ -118,13 +118,48 @@ func (m *Measurements) Validate(tol float64) error {
 			}
 		}
 	}
+	for key, pijk := range m.triples {
+		i, j, k := unpackTripleKey(key)
+		if k >= m.N || i == j || j == k {
+			return fmt.Errorf("%w: triple (%d,%d,%d) outside the %d-client cell",
+				ErrInconsistent, i, j, k, m.N)
+		}
+		if pijk < 0 || pijk > 1 {
+			return fmt.Errorf("%w: p(%d,%d,%d)=%v outside [0,1]", ErrInconsistent, i, j, k, pijk)
+		}
+		// Inclusion–exclusion consistency under the non-negative-
+		// correlation model: the triple joint can exceed none of its pair
+		// joints (A∩B∩C ⊆ A∩B), and cannot fall below the fully
+		// independent product of the marginals.
+		minPair := math.Min(m.Pair(i, j), math.Min(m.Pair(i, k), m.Pair(j, k)))
+		if pijk > minPair+tol {
+			return fmt.Errorf("%w: p(%d,%d,%d)=%v exceeds min pair joint %v",
+				ErrInconsistent, i, j, k, pijk, minPair)
+		}
+		if lo := m.P[i] * m.P[j] * m.P[k]; pijk < lo-tol {
+			return fmt.Errorf("%w: p(%d,%d,%d)=%v below independent product %v",
+				ErrInconsistent, i, j, k, pijk, lo)
+		}
+	}
 	return nil
+}
+
+// unpackTripleKey reverses tripleKey: the sorted client indices i<j<k.
+func unpackTripleKey(key uint32) (i, j, k int) {
+	return int(key >> 12 & 63), int(key >> 6 & 63), int(key & 63)
 }
 
 // Clamp coerces measurements into the consistent region checked by
 // Validate, repairing small sampling-noise violations in place:
-// probabilities are clamped to [floor, 1], and each pair to
-// [p(i)p(j), min(p(i), p(j))]. floor keeps −log transforms finite.
+// probabilities are clamped to [floor, 1], each pair to
+// [p(i)p(j), min(p(i), p(j))], and each triple to the analogous
+// [p(i)p(j)p(k), min of its pair joints] band (using the already
+// clamped marginals and pairs, so the result is internally consistent).
+// floor keeps −log transforms finite. Without the triple leg a
+// wire-supplied p(i,j,k) > 1 reached Transform unchecked, where its
+// negative −log target silently collapsed to a zero-target constraint.
+// Triples naming out-of-range clients are dropped: there are no
+// in-range bounds to coerce them into.
 func (m *Measurements) Clamp(floor float64) {
 	if floor <= 0 {
 		floor = 1e-6
@@ -138,6 +173,16 @@ func (m *Measurements) Clamp(floor float64) {
 			hi := math.Min(m.P[i], m.P[j])
 			m.SetPair(i, j, clampF(m.Pair(i, j), lo, hi))
 		}
+	}
+	for key, pijk := range m.triples {
+		i, j, k := unpackTripleKey(key)
+		if k >= m.N || i == j || j == k {
+			delete(m.triples, key)
+			continue
+		}
+		lo := m.P[i] * m.P[j] * m.P[k]
+		hi := math.Min(m.Pair(i, j), math.Min(m.Pair(i, k), m.Pair(j, k)))
+		m.triples[key] = clampF(pijk, lo, hi)
 	}
 }
 

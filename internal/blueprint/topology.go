@@ -178,7 +178,16 @@ func (t *Topology) Normalize() *Topology {
 // exact edge set appears among the inferred terminals. Duplicate edge
 // sets are matched with multiplicity. An empty ground truth counts as
 // perfectly inferred only if the inference is also empty.
+//
+// A nil topology on either side means "no blueprint available" — e.g.
+// the controller's speculative rung never fired, so no truth snapshot
+// exists — which is not the same claim as an empty (zero-interference)
+// topology. Accuracy returns NaN for it: the metric is undefined, and
+// NaN keeps the case out of averages instead of scoring it 0 or 1.
 func Accuracy(truth, inferred *Topology) float64 {
+	if truth == nil || inferred == nil {
+		return math.NaN()
+	}
 	if len(truth.HTs) == 0 {
 		if len(inferred.HTs) == 0 {
 			return 1

@@ -176,3 +176,26 @@ func TestMeasureRoundTrip(t *testing.T) {
 		t.Errorf("exact measurements fail validation: %v", err)
 	}
 }
+
+// TestAccuracyNilTopologies is the regression for the nil-deref: the
+// controller only snapshots ground truth on the speculative rung, so
+// Accuracy could be handed a nil topology. Nil means "no blueprint",
+// which is undefined — NaN — rather than an empty topology's 0 or 1.
+func TestAccuracyNilTopologies(t *testing.T) {
+	some := &Topology{N: 2, HTs: []HiddenTerminal{{Q: 0.3, Clients: NewClientSet(0)}}}
+	for _, c := range []struct {
+		name            string
+		truth, inferred *Topology
+	}{
+		{"nil truth", nil, some},
+		{"nil inferred", some, nil},
+		{"both nil", nil, nil},
+	} {
+		if got := Accuracy(c.truth, c.inferred); !math.IsNaN(got) {
+			t.Errorf("%s: Accuracy = %v, want NaN", c.name, got)
+		}
+	}
+	if got := Accuracy(some, some); got != 1 {
+		t.Errorf("self-accuracy = %v, want 1", got)
+	}
+}

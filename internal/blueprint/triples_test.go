@@ -113,3 +113,102 @@ func TestTriplesResolveAmbiguity(t *testing.T) {
 		t.Errorf("not converged: max violation %v", inf.MaxViolation)
 	}
 }
+
+// TestValidateChecksTriples is the regression for triples sailing
+// through Validate entirely unchecked: a p(i,j,k) outside [0,1] or
+// above the smallest of its pair joints must be rejected like the
+// equivalent pair-level inconsistencies are.
+func TestValidateChecksTriples(t *testing.T) {
+	base := func() *Measurements {
+		m := NewMeasurements(4)
+		for i := 0; i < 4; i++ {
+			m.P[i] = 0.8
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				m.SetPair(i, j, 0.7)
+			}
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		pijk float64
+		ok   bool
+	}{
+		{"consistent", 0.65, true},
+		{"at pair bound", 0.7, true},
+		{"above one", 1.3, false},
+		{"negative", -0.1, false},
+		{"above min pair joint", 0.75, false},
+		{"below independent product", 0.3, false},
+	}
+	for _, c := range cases {
+		m := base()
+		m.SetTriple(0, 1, 2, c.pijk)
+		err := m.Validate(1e-6)
+		if c.ok && err != nil {
+			t.Errorf("%s: Validate rejected consistent triple: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: Validate accepted p(0,1,2)=%v", c.name, c.pijk)
+		}
+	}
+
+	// A triple naming a client outside the cell must be an error, not a
+	// panic or a silent pass.
+	m := NewMeasurements(3)
+	for i := range m.P {
+		m.P[i] = 1
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			m.SetPair(i, j, 1)
+		}
+	}
+	m.SetTriple(0, 1, 7, 0.5)
+	if err := m.Validate(1e-6); err == nil {
+		t.Error("Validate accepted a triple naming client 7 in a 3-client cell")
+	}
+}
+
+// TestClampCoercesTriples: the regression for the Transform hazard —
+// p(i,j,k) > 1 has a negative −log that silently collapsed to a
+// zero-target constraint. Clamp must coerce triples into
+// [p(i)p(j)p(k), min pair joint] exactly as it coerces pairs.
+func TestClampCoercesTriples(t *testing.T) {
+	m := NewMeasurements(4)
+	for i := 0; i < 4; i++ {
+		m.P[i] = 0.8
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			m.SetPair(i, j, 0.7)
+		}
+	}
+	m.SetTriple(0, 1, 2, 1.4)  // above every bound
+	m.SetTriple(0, 1, 3, 0.1)  // below the independent product
+	m.SetTriple(1, 2, 3, 0.66) // already consistent
+	m.Clamp(1e-6)
+	if got, _ := m.Triple(0, 1, 2); got != 0.7 {
+		t.Errorf("over-one triple clamped to %v, want 0.7 (min pair joint)", got)
+	}
+	if got, _ := m.Triple(0, 1, 3); math.Abs(got-0.8*0.8*0.8) > 1e-12 {
+		t.Errorf("under-floor triple clamped to %v, want %v", got, 0.8*0.8*0.8)
+	}
+	if got, _ := m.Triple(1, 2, 3); got != 0.66 {
+		t.Errorf("consistent triple changed to %v", got)
+	}
+	if err := m.Validate(1e-9); err != nil {
+		t.Errorf("Clamp left inconsistent triples behind: %v", err)
+	}
+
+	// Out-of-range triples have no consistent region to land in; Clamp
+	// drops them so Transform never sees them.
+	m2 := NewMeasurements(3)
+	m2.SetTriple(0, 1, 9, 0.5)
+	m2.Clamp(1e-6)
+	if m2.NumTriples() != 0 {
+		t.Errorf("out-of-range triple survived Clamp (%d left)", m2.NumTriples())
+	}
+}

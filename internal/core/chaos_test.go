@@ -255,7 +255,7 @@ func TestLadderEscalation(t *testing.T) {
 	ctx := context.Background()
 	wantLevels := []LadderLevel{LadderAccessAware, LadderPF, LadderPF}
 	for i, want := range wantLevels {
-		dec, err := sys.decideCycle(ctx, 0, sys.estimator.Measurements())
+		dec, err := sys.decideCycle(ctx, 0, sys.estimator.Measurements(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,7 +273,7 @@ func TestLadderEscalation(t *testing.T) {
 
 	// Gate relaxed: the very next cycle climbs back to speculative.
 	sys.cfg.GateMinSamples = -1
-	dec, err := sys.decideCycle(ctx, 0, sys.estimator.Measurements())
+	dec, err := sys.decideCycle(ctx, 0, sys.estimator.Measurements(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -325,7 +325,11 @@ func (s *System) RunContext(ctx context.Context) (*Report, error) {
 
 		// Blueprint behind the confidence gate and pick the ladder rung.
 		inferStart := time.Now()
-		dec, err := s.decideCycle(ctx, sf, meas)
+		// A refresh cycle seeds inference with the standing blueprint: the
+		// measurement delta since last cycle is usually small, so the warm
+		// repair converges in a fraction of a cold multi-start (and exact
+		// ties keep the previous topology — no flapping).
+		dec, err := s.decideCycle(ctx, sf, meas, rep.FinalTopology)
 		if err != nil {
 			return nil, err
 		}

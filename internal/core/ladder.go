@@ -97,10 +97,12 @@ type cycleDecision struct {
 
 // decideCycle runs gated inference for the cycle starting at subframe
 // sf and picks the ladder level. Only a fired parent context is a run
-// error; every inference failure degrades instead.
-func (s *System) decideCycle(ctx context.Context, sf int, m *blueprint.Measurements) (cycleDecision, error) {
+// error; every inference failure degrades instead. warm, when non-nil,
+// is the previous cycle's blueprint, seeding the §3.7 refresh
+// inference so a small drift costs a small repair.
+func (s *System) decideCycle(ctx context.Context, sf int, m *blueprint.Measurements, warm *blueprint.Topology) (cycleDecision, error) {
 	d := cycleDecision{level: LadderSpeculative}
-	res, retries, err := s.inferWithRetry(ctx, sf, m)
+	res, retries, err := s.inferWithRetry(ctx, sf, m, warm)
 	d.retries = retries
 	if err != nil {
 		if ctx.Err() != nil {
@@ -154,8 +156,9 @@ func (s *System) decideCycle(ctx context.Context, sf int, m *blueprint.Measureme
 // ambitious for the deadline, so the retry asks for less. The fault
 // injector may install a per-iteration stall hook and shrink the
 // deadline while its stall window covers sf.
-func (s *System) inferWithRetry(ctx context.Context, sf int, m *blueprint.Measurements) (*blueprint.InferResult, int, error) {
+func (s *System) inferWithRetry(ctx context.Context, sf int, m *blueprint.Measurements, warm *blueprint.Topology) (*blueprint.InferResult, int, error) {
 	opts := s.cfg.InferOptions
+	opts.WarmStart = warm
 	// Pre-normalize the knobs that back off so halving starts from the
 	// real defaults instead of re-defaulting 0 back up to 8.
 	if opts.RandomStarts <= 0 {

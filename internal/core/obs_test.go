@@ -148,3 +148,33 @@ func TestObsDriftReset(t *testing.T) {
 		t.Errorf("counter says %d resets, report says %d drift detections", d.drifts, detected)
 	}
 }
+
+// TestObsRefreshInferenceWarmStarts: every cycle after the first holds
+// a standing blueprint, and the controller must hand it to inference
+// as the warm seed — visible as blueprint_warm_starts_total advancing
+// once per refresh inference.
+func TestObsRefreshInferenceWarmStarts(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	warmCounter := obs.GetCounter("blueprint_warm_starts_total")
+	cell := testCell(t, 6, 9, 9000, 57)
+	sys, err := NewSystem(Config{T: 30, L: 2000, RefreshThreshold: 1200, DriftThreshold: -1}, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infers0 := obsInferences.Value()
+	warm0 := warmCounter.Value()
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	infers := obsInferences.Value() - infers0
+	warm := warmCounter.Value() - warm0
+	if infers < 2 {
+		t.Fatalf("run performed %d inferences, need >= 2 to exercise the refresh path", infers)
+	}
+	if want := infers - 1; warm != want {
+		t.Errorf("blueprint_warm_starts_total advanced %d, want %d (every inference after the first is seeded)",
+			warm, want)
+	}
+}

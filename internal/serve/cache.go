@@ -71,6 +71,21 @@ func (c *lruCache) put(key uint64, body []byte) {
 	}
 }
 
+// remove drops key from the cache, reporting whether it was present.
+// It is the digest-delta invalidation primitive: a session whose
+// measurements changed removes exactly the entries it minted.
+func (c *lruCache) remove(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
 // len returns the current entry count.
 func (c *lruCache) len() int {
 	c.mu.Lock()

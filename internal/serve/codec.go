@@ -11,7 +11,8 @@
 //
 //	[4]byte magic "BLUW"
 //	u8     version (currently 1)
-//	u8     kind    (1 = infer request, 2 = infer response)
+//	u8     kind    (1 = infer request, 2 = infer response,
+//	                3 = observe request, 4 = observe response)
 //	u32    payload length
 //	...    payload (exactly the declared length; trailing bytes reject)
 //
@@ -33,6 +34,23 @@
 //	u8  converged (0 or 1)
 //	u32 starts, u32 iterations
 //
+// Observe request payload (the streaming ingestion fast path — one
+// observation is 2 + schedCount + 8 bytes against ~60 of JSON):
+//
+//	u8  sessionLen, sessionLen bytes of session id
+//	u8  n
+//	u8  seal (0 or 1)
+//	i32 timeoutMS
+//	u16 count, count × (u8 schedCount, schedCount × u8 scheduled,
+//	                    u64 accessed bitmask)
+//
+// Observe response payload:
+//
+//	u8  sessionLen, sessionLen bytes of session id
+//	u32 folded, u32 epoch
+//	u64 digest
+//	u32 invalidated, u32 evicted
+//
 // Decoding is structural only — index ranges, probability bounds, and
 // topology invariants stay the job of ToMeasurements/ToTopology, the
 // same gate the JSON path goes through. Every malformed input returns
@@ -46,6 +64,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strconv"
 
 	"blu/internal/blueprint"
 )
@@ -56,9 +75,11 @@ import (
 const ContentTypeBinary = "application/x-blu-binary"
 
 const (
-	wireVersion       = 1
-	kindInferRequest  = 1
-	kindInferResponse = 2
+	wireVersion         = 1
+	kindInferRequest    = 1
+	kindInferResponse   = 2
+	kindObserveRequest  = 3
+	kindObserveResponse = 4
 
 	frameHeaderLen = 10 // magic(4) + version(1) + kind(1) + length(4)
 
@@ -462,6 +483,218 @@ func DecodeInferResponse(data []byte) (*InferResponse, error) {
 		return nil, err
 	}
 	if resp.Iterations, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, frameErr("%d trailing payload bytes", r.remaining())
+	}
+	return resp, nil
+}
+
+// EncodeObserveRequest renders req as one binary frame. Accessed sets
+// travel as 64-bit membership masks, so an accessed client outside
+// [0,64) is unrepresentable and errors (such an index is a protocol
+// error on the JSON path too — the handler rejects it before folding).
+func EncodeObserveRequest(req *ObserveRequest) ([]byte, error) {
+	if len(req.Session) > 255 {
+		return nil, fmt.Errorf("binary codec: session id %d bytes does not fit the wire", len(req.Session))
+	}
+	if req.N < 0 || req.N > 255 {
+		return nil, fmt.Errorf("binary codec: n=%d does not fit the wire", req.N)
+	}
+	if len(req.Observations) > math.MaxUint16 {
+		return nil, fmt.Errorf("binary codec: %d observations do not fit the wire", len(req.Observations))
+	}
+	size := frameHeaderLen + 1 + len(req.Session) + 1 + 1 + 4 + 2
+	for i := range req.Observations {
+		size += 1 + len(req.Observations[i].Scheduled) + 8
+	}
+	w := wireWriter{b: make([]byte, 0, size)}
+	var lenOff int
+	w.b, lenOff = appendFrameHeader(w.b, kindObserveRequest)
+
+	w.u8(byte(len(req.Session)))
+	w.b = append(w.b, req.Session...)
+	w.u8(byte(req.N))
+	if req.Seal {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	if err := w.i32("timeout_ms", req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	w.u16(uint16(len(req.Observations)))
+	for oi := range req.Observations {
+		ob := &req.Observations[oi]
+		if len(ob.Scheduled) > 255 {
+			return nil, fmt.Errorf("binary codec: observation %d schedules %d clients, wire cap 255",
+				oi, len(ob.Scheduled))
+		}
+		w.u8(byte(len(ob.Scheduled)))
+		for _, c := range ob.Scheduled {
+			if c < 0 || c > 255 {
+				return nil, fmt.Errorf("binary codec: observation %d scheduled client %d does not fit the wire", oi, c)
+			}
+			w.u8(byte(c))
+		}
+		var mask uint64
+		for _, c := range ob.Accessed {
+			if c < 0 || c >= blueprint.MaxClients {
+				return nil, fmt.Errorf("binary codec: observation %d accessed client %d does not fit the wire mask", oi, c)
+			}
+			mask |= 1 << uint(c)
+		}
+		w.u64(mask)
+	}
+
+	binary.LittleEndian.PutUint32(w.b[lenOff:], uint32(len(w.b)-frameHeaderLen))
+	return w.b, nil
+}
+
+// DecodeObserveRequest parses one binary observe frame into the same
+// wire struct the JSON decoder fills; the handler's validation runs
+// identically after either codec. Accessed masks decode to ascending
+// member lists, matching the canonical JSON rendering.
+func DecodeObserveRequest(data []byte) (*ObserveRequest, error) {
+	payload, err := openFrame(data, kindObserveRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := wireReader{b: payload}
+	req := &ObserveRequest{}
+
+	sessLen, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() < int(sessLen) {
+		return nil, frameErr("truncated session id: %d bytes left for %d", r.remaining(), sessLen)
+	}
+	req.Session = string(r.b[r.off : r.off+int(sessLen)])
+	r.off += int(sessLen)
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	req.N = int(n)
+	seal, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if seal > 1 {
+		return nil, frameErr("seal byte %d, want 0 or 1", seal)
+	}
+	req.Seal = seal == 1
+	if req.TimeoutMS, err = r.i32(); err != nil {
+		return nil, err
+	}
+	count, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if count > 0 {
+		req.Observations = make([]ObservationWire, count)
+		for oi := range req.Observations {
+			schedCount, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if r.remaining() < int(schedCount)+8 {
+				return nil, frameErr("truncated observation %d: %d bytes left for %d scheduled + mask",
+					oi, r.remaining(), schedCount)
+			}
+			sched := make([]int, schedCount)
+			for si := range sched {
+				b, _ := r.u8()
+				sched[si] = int(b)
+			}
+			mask, _ := r.u64()
+			acc := make([]int, 0, bits.OnesCount64(mask))
+			for v := mask; v != 0; v &= v - 1 {
+				acc = append(acc, bits.TrailingZeros64(v))
+			}
+			req.Observations[oi] = ObservationWire{Scheduled: sched, Accessed: acc}
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, frameErr("%d trailing payload bytes", r.remaining())
+	}
+	return req, nil
+}
+
+// EncodeObserveResponse renders resp as one binary frame. The digest
+// travels as its raw 64 bits; a Digest string that is not 16 hex
+// digits errors (only a hand-built response can carry one).
+func EncodeObserveResponse(resp *ObserveResponse) ([]byte, error) {
+	if len(resp.Session) > 255 {
+		return nil, fmt.Errorf("binary codec: session id %d bytes does not fit the wire", len(resp.Session))
+	}
+	dg, err := strconv.ParseUint(resp.Digest, 16, 64)
+	if err != nil || len(resp.Digest) != 16 {
+		return nil, fmt.Errorf("binary codec: digest %q is not 16 hex digits", resp.Digest)
+	}
+	size := frameHeaderLen + 1 + len(resp.Session) + 4 + 4 + 8 + 4 + 4
+	w := wireWriter{b: make([]byte, 0, size)}
+	var lenOff int
+	w.b, lenOff = appendFrameHeader(w.b, kindObserveResponse)
+
+	w.u8(byte(len(resp.Session)))
+	w.b = append(w.b, resp.Session...)
+	if err := w.i32("folded", resp.Folded); err != nil {
+		return nil, err
+	}
+	if err := w.i32("epoch", resp.Epoch); err != nil {
+		return nil, err
+	}
+	w.u64(dg)
+	if err := w.i32("invalidated", resp.Invalidated); err != nil {
+		return nil, err
+	}
+	if err := w.i32("evicted", resp.Evicted); err != nil {
+		return nil, err
+	}
+
+	binary.LittleEndian.PutUint32(w.b[lenOff:], uint32(len(w.b)-frameHeaderLen))
+	return w.b, nil
+}
+
+// DecodeObserveResponse parses one binary observe response frame,
+// rendering the digest back to the %016x string the JSON codec
+// carries, so binary→struct→JSON equals the JSON the server would
+// have sent directly.
+func DecodeObserveResponse(data []byte) (*ObserveResponse, error) {
+	payload, err := openFrame(data, kindObserveResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := wireReader{b: payload}
+	resp := &ObserveResponse{}
+
+	sessLen, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if r.remaining() < int(sessLen) {
+		return nil, frameErr("truncated session id: %d bytes left for %d", r.remaining(), sessLen)
+	}
+	resp.Session = string(r.b[r.off : r.off+int(sessLen)])
+	r.off += int(sessLen)
+	if resp.Folded, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if resp.Epoch, err = r.i32(); err != nil {
+		return nil, err
+	}
+	dg, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	resp.Digest = fmt.Sprintf("%016x", dg)
+	if resp.Invalidated, err = r.i32(); err != nil {
+		return nil, err
+	}
+	if resp.Evicted, err = r.i32(); err != nil {
 		return nil, err
 	}
 	if r.remaining() != 0 {

@@ -4,6 +4,7 @@
 // request streams:
 //
 //	POST /v1/infer     measurements → inferred interference blueprint
+//	POST /v1/observe   per-subframe access outcomes → session estimator
 //	POST /v1/joint     topology + clear/blocked sets → joint access prob
 //	POST /v1/schedule  topology + rates/backlog → one subframe of grants
 //	GET  /healthz      liveness (+ drain state)
@@ -21,6 +22,12 @@
 //     is full the server answers 429 + Retry-After instead of queueing
 //     unboundedly. Queue slots are released to workers running on the
 //     internal/parallel pool.
+//   - Streaming: /v1/observe folds raw access outcomes into a bounded
+//     per-session windowed estimator; an infer may then reference the
+//     session instead of carrying measurements inline, and is seeded
+//     with the session's previous blueprint (warm start). Cache entries
+//     minted from a session are invalidated exactly when the session's
+//     measurement digest moves (DESIGN.md §14).
 //   - Deadlines: a per-request timeout_ms maps onto the existing
 //     blueprint.InferContext plumbing; expiry answers 504.
 //   - Graceful drain: Drain stops intake, finishes every in-flight
@@ -59,6 +66,11 @@ var (
 	obsTimeouts  = obs.GetCounter("serve_timeout_total")
 	obsBadReq    = obs.GetCounter("serve_bad_request_total")
 	obsBinary    = obs.GetCounter("serve_binary_total")
+	obsObserves  = obs.GetCounter("serve_observe_total")
+	// obsInvalidation counts cache entries removed because the session
+	// that minted them saw its measurement digest move (or died) — the
+	// digest-delta invalidations, as opposed to capacity evictions.
+	obsInvalidation = obs.GetCounter("serve_invalidation_total")
 	obsDrains    = obs.GetCounter("serve_drains_total")
 	obsQueueLen  = obs.GetGauge("serve_queue_depth")
 	obsLatency   = obs.GetHistogram("serve_latency_ms",
@@ -80,6 +92,13 @@ type Config struct {
 	// CacheEntries bounds the infer result cache (default 1024; negative
 	// disables caching).
 	CacheEntries int
+	// MaxSessions bounds the live /v1/observe session registry; creating
+	// a session past the bound evicts the least-recently-used one
+	// (default 256).
+	MaxSessions int
+	// WindowEpochs is the windowed-estimator capacity, in sealed epochs,
+	// for new sessions (default 64).
+	WindowEpochs int
 	// DefaultTimeout applies when a request carries no timeout_ms
 	// (default 30s). MaxTimeout caps client-supplied deadlines
 	// (default 2m).
@@ -102,6 +121,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.WindowEpochs <= 0 {
+		c.WindowEpochs = 64
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -143,6 +168,7 @@ type Server struct {
 	mux      *http.ServeMux
 	cache    *lruCache
 	flights  *flightGroup
+	sessions *sessionStore
 	manifest *obs.Manifest
 
 	queue    chan *job
@@ -172,12 +198,14 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		cache:    newLRUCache(cfg.CacheEntries),
 		flights:  newFlightGroup(),
+		sessions: newSessionStore(cfg.MaxSessions, cfg.WindowEpochs),
 		manifest: obs.NewManifest(cfg.Tool, cfg.Args),
 		queue:    make(chan *job, cfg.QueueDepth),
 		poolDone: make(chan struct{}),
 		serveErr: make(chan error, 1),
 	}
 	s.mux.HandleFunc("/v1/infer", s.instrument(obsInfers, s.handleInfer))
+	s.mux.HandleFunc("/v1/observe", s.instrument(obsObserves, s.handleObserve))
 	s.mux.HandleFunc("/v1/joint", s.instrument(obsJoints, s.handleJoint))
 	s.mux.HandleFunc("/v1/schedule", s.instrument(obsSchedules, s.handleSchedule))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -454,13 +482,39 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	m, err := req.Measurements.ToMeasurements()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
 	opts := req.Options.ToInferOptions()
 	opts.Parallelism = s.cfg.SolverParallelism
+	var m *blueprint.Measurements
+	var sess *session
+	var sessDigest uint64
+	if req.Session != "" {
+		if req.Measurements.N != 0 || len(req.Measurements.P) != 0 ||
+			len(req.Measurements.Pairs) != 0 || len(req.Measurements.Triples) != 0 {
+			writeError(w, http.StatusBadRequest, "session and inline measurements are mutually exclusive")
+			return
+		}
+		sess = s.sessions.get(req.Session)
+		if sess == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", req.Session))
+			return
+		}
+		// Snapshot measurements, digest, and warm seed in one critical
+		// section so they agree; Measurements() is a fresh clamped copy, so
+		// concurrent folds cannot mutate what the solver reads. The digest
+		// is re-checked against the session before the result is minted.
+		sess.mu.Lock()
+		m = sess.win.Measurements()
+		sessDigest = sess.digest
+		opts.WarmStart = sess.lastTopo
+		sess.mu.Unlock()
+	} else {
+		var err error
+		m, err = req.Measurements.ToMeasurements()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	key := digestInfer(m, opts)
 	binaryResp := acceptsBinary(r)
 	if binaryResp {
@@ -539,6 +593,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			status, body = http.StatusInternalServerError, errorBody(encErr.Error())
 		} else {
 			s.cache.put(key, body)
+			if sess != nil {
+				s.mintSessionKey(sess, sessDigest, key, res.Topology)
+			}
 		}
 	}
 	// Publish to followers before answering, so the flight never

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"blu/internal/access"
+	"blu/internal/blueprint"
+	"blu/internal/obs"
+)
+
+var (
+	obsSessions     = obs.GetGauge("serve_sessions")
+	obsSessionEvict = obs.GetCounter("serve_session_evict_total")
+)
+
+// session is the server-side state of one streaming topology: the
+// windowed estimator its /v1/observe batches fold into, the canonical
+// digest of its current measurements, the blueprint last inferred from
+// it (the warm seed for the next inference), and the set of result-
+// cache keys minted from its measurements — the keys digest-delta
+// invalidation removes when the measurements move.
+//
+// mu serializes all of it. Folds, digest updates, and invalidation
+// happen under one critical section, so an infer snapshotting the
+// session always sees measurements and digest in agreement.
+type session struct {
+	id string
+
+	mu       sync.Mutex
+	win      *access.Window
+	digest   uint64
+	lastTopo *blueprint.Topology
+	minted   map[uint64]struct{}
+}
+
+// sessionStore is the bounded LRU registry of live sessions. Observing
+// creates or refreshes a session; creating one past the bound evicts
+// the least-recently-used session, whose minted cache keys the caller
+// must drop (a dead session can no longer invalidate them).
+type sessionStore struct {
+	mu    sync.Mutex
+	max   int
+	win   int // window capacity (epochs) for new sessions
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+func newSessionStore(max, windowEpochs int) *sessionStore {
+	return &sessionStore{
+		max:   max,
+		win:   windowEpochs,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the live session for id, refreshing its recency.
+func (st *sessionStore) get(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.items[id]
+	if !ok {
+		return nil
+	}
+	st.ll.MoveToFront(el)
+	return el.Value.(*session)
+}
+
+// getOrCreate returns the session for id, creating it over n clients
+// on first use. An existing session must agree on n — a topology id
+// cannot silently change shape mid-stream. evicted, when non-nil, is a
+// session pushed out by the bound; the caller owns dropping its minted
+// cache keys.
+func (st *sessionStore) getOrCreate(id string, n int) (s, evicted *session, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.items[id]; ok {
+		s = el.Value.(*session)
+		if s.win.N() != n {
+			return nil, nil, fmt.Errorf("session %q has n=%d, request says n=%d", id, s.win.N(), n)
+		}
+		st.ll.MoveToFront(el)
+		return s, nil, nil
+	}
+	s = &session{
+		id:     id,
+		win:    access.NewWindow(n, st.win),
+		minted: make(map[uint64]struct{}),
+	}
+	// An empty window still has a canonical digest (the all-ones
+	// no-evidence measurements), so the first observe can detect its own
+	// change and infer-by-session works even before any fold.
+	s.digest = digestMeasurements(s.win.Measurements())
+	st.items[id] = st.ll.PushFront(s)
+	for st.ll.Len() > st.max {
+		back := st.ll.Back()
+		st.ll.Remove(back)
+		evicted = back.Value.(*session)
+		delete(st.items, evicted.id)
+		obsSessionEvict.Inc()
+	}
+	obsSessions.Set(float64(st.ll.Len()))
+	return s, evicted, nil
+}
+
+// len returns the live session count.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ll.Len()
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math"
 
@@ -164,9 +165,15 @@ func TopologyToWire(t *blueprint.Topology) TopologyWire {
 	return w
 }
 
-// InferRequest is the POST /v1/infer body.
+// InferRequest is the POST /v1/infer body. Exactly one measurement
+// source must be present: inline Measurements, or Session naming a
+// streaming session previously fed via POST /v1/observe — the server
+// then infers from the session's windowed estimate, warm-starting from
+// the session's previous blueprint. Session-keyed inference is
+// JSON-only; the binary codec carries inline measurements.
 type InferRequest struct {
-	Measurements MeasurementsWire `json:"measurements"`
+	Session      string           `json:"session,omitempty"`
+	Measurements MeasurementsWire `json:"measurements,omitempty"`
 	Options      InferOptionsWire `json:"options,omitempty"`
 	// TimeoutMS is the per-request deadline mapped onto
 	// blueprint.InferContext; 0 selects the server default.
@@ -232,6 +239,42 @@ type ScheduleResponse struct {
 	Scheduler string `json:"scheduler"`
 }
 
+// ObservationWire is one subframe's access outcome on the wire: the
+// clients holding grants and the subset that passed CCA. Accessed
+// entries must be in range; entries naming unscheduled clients are
+// legal and simply carry no pair evidence (the estimator only counts
+// scheduled clients).
+type ObservationWire struct {
+	Scheduled []int `json:"scheduled"`
+	Accessed  []int `json:"accessed,omitempty"`
+}
+
+// ObserveRequest is the POST /v1/observe body: a batch of per-subframe
+// observations folded into the windowed estimator of session Session
+// (created on first use with N clients; subsequent batches must agree
+// on N). Seal closes the session's current observation epoch after the
+// batch, letting the window age the oldest epoch out once full.
+type ObserveRequest struct {
+	Session      string            `json:"session"`
+	N            int               `json:"n"`
+	Observations []ObservationWire `json:"observations"`
+	Seal         bool              `json:"seal,omitempty"`
+	TimeoutMS    int               `json:"timeout_ms,omitempty"`
+}
+
+// ObserveResponse reports what the batch did to the session: how many
+// observations carried usable evidence, the current epoch, the
+// session's canonical measurement digest after the fold, and how many
+// cached inference results the digest change invalidated.
+type ObserveResponse struct {
+	Session     string `json:"session"`
+	Folded      int    `json:"folded"`
+	Epoch       int    `json:"epoch"`
+	Digest      string `json:"digest"`
+	Invalidated int    `json:"invalidated"`
+	Evicted     int    `json:"evicted"`
+}
+
 // ErrorResponse is the uniform error body.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -249,20 +292,62 @@ type HealthResponse struct {
 // one solver run and one cache slot regardless of JSON formatting,
 // pair order, or timeout.
 func digestInfer(m *blueprint.Measurements, o blueprint.InferOptions) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	wu := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+	d := newDigest()
+	d.measurements(m)
+	d.u(uint64(o.MaxIterations))
+	d.f(o.Tolerance)
+	d.u(uint64(o.RandomStarts))
+	d.u(o.Seed)
+	d.u(uint64(o.MaxHTs))
+	d.u(uint64(o.StallLimit))
+	d.u(uint64(o.Perturbations))
+	// A warm seed can change the inferred topology, so it is part of
+	// the result identity — two requests over identical measurements
+	// but different previous blueprints must not share a cache slot.
+	if o.WarmStart != nil {
+		d.u(uint64(o.WarmStart.N))
+		d.u(uint64(len(o.WarmStart.HTs)))
+		for _, ht := range o.WarmStart.HTs {
+			d.u(uint64(ht.Clients))
+			d.f(ht.Q)
+		}
 	}
-	wf := func(f float64) { wu(math.Float64bits(f)) }
-	wu(uint64(m.N))
+	return d.h.Sum64()
+}
+
+// digestMeasurements is the canonical digest of measurement content
+// alone — the per-session fingerprint observe updates and the
+// invalidation protocol compares.
+func digestMeasurements(m *blueprint.Measurements) uint64 {
+	d := newDigest()
+	d.measurements(m)
+	return d.h.Sum64()
+}
+
+// digest is a tiny FNV-1a accumulator shared by the request keying and
+// session fingerprinting paths.
+type digest struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newDigest() *digest { return &digest{h: fnv.New64a()} }
+
+func (d *digest) u(v uint64) {
+	binary.LittleEndian.PutUint64(d.buf[:], v)
+	d.h.Write(d.buf[:])
+}
+
+func (d *digest) f(f float64) { d.u(math.Float64bits(f)) }
+
+func (d *digest) measurements(m *blueprint.Measurements) {
+	d.u(uint64(m.N))
 	for i := 0; i < m.N; i++ {
-		wf(m.P[i])
+		d.f(m.P[i])
 	}
 	for i := 0; i < m.N; i++ {
 		for j := i + 1; j < m.N; j++ {
-			wf(m.Pair(i, j))
+			d.f(m.Pair(i, j))
 		}
 	}
 	if m.NumTriples() > 0 {
@@ -270,19 +355,11 @@ func digestInfer(m *blueprint.Measurements, o blueprint.InferOptions) uint64 {
 			for j := i + 1; j < m.N; j++ {
 				for k := j + 1; k < m.N; k++ {
 					if p, ok := m.Triple(i, j, k); ok {
-						wu(uint64(i)<<12 | uint64(j)<<6 | uint64(k))
-						wf(p)
+						d.u(uint64(i)<<12 | uint64(j)<<6 | uint64(k))
+						d.f(p)
 					}
 				}
 			}
 		}
 	}
-	wu(uint64(o.MaxIterations))
-	wf(o.Tolerance)
-	wu(uint64(o.RandomStarts))
-	wu(o.Seed)
-	wu(uint64(o.MaxHTs))
-	wu(uint64(o.StallLimit))
-	wu(uint64(o.Perturbations))
-	return h.Sum64()
 }
