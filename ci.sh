@@ -75,6 +75,18 @@ go run ./cmd/blumanifest \
   -require faults_observations_dropped_total,faults_stall_iterations_total,core_gate_trips_total,core_infer_retries_total,core_fallback_phases_total \
   "$obsdir/chaos.json"
 
+echo "== persist smoke =="
+# The durability layer's crash-safety gates: the recovery suite under
+# the race detector (torn writes, truncation, bit flips, rotate-vs-
+# append races), the kill-and-restore equivalence test, and the seed
+# corpora of the persist decoders plus the window export/import
+# fuzzer — decoders that eat arbitrary disk bytes must prove they
+# never panic before anything below trusts a restart.
+go test -race -run 'TestRecovery|TestKillRestore|TestRestore|TestSnapshot|TestCrash|TestRotate|TestAbort' \
+  ./internal/persist/ ./internal/serve/
+go test -run 'FuzzDecodeSnapshot|FuzzScanSegment' ./internal/persist/
+go test -run 'FuzzWindowExportImport' ./internal/access/
+
 echo "== serve smoke =="
 # The serving layer end to end, race-instrumented: start blud on a
 # loopback port, drive a seeded closed-loop bluload run against it, and
@@ -131,5 +143,66 @@ blud_pid=""
 go run ./cmd/blumanifest \
   -require serve_requests_total,serve_cache_hit_total,serve_infer_total,serve_joint_total,serve_schedule_total,serve_observe_total,serve_invalidation_total \
   "$obsdir/blud_manifest.json"
+
+echo "== restart smoke =="
+# Durable restart end to end, race-instrumented: a blud with -state
+# takes an observe-mix bluload run, mints a session-keyed infer into
+# its cache, and is then killed with SIGKILL — no drain, no final
+# snapshot. The relaunched daemon must (a) report recovered state
+# (nonzero persist_recovered_total in its drain manifest), and
+# (b) answer the same session infer as a byte-identical cache hit,
+# proving the snapshot+WAL image restored the streaming state and the
+# minted response bytes exactly.
+go build -race -o "$obsdir/bluprobe" ./cmd/bluprobe
+statedir="$obsdir/state"
+"$obsdir/blud" -addr 127.0.0.1:0 -state "$statedir" \
+  -snapshot-interval 1s -wal-sync 5ms \
+  >"$obsdir/blud2.out" 2>"$obsdir/blud2.err" &
+blud_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^blud: listening on //p' "$obsdir/blud2.out")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "ci: durable blud never reported its address" >&2; cat "$obsdir/blud2.err" >&2; exit 1; }
+"$obsdir/bluload" -addr "$addr" -seed 11 -c 4 -n 200 -mix observe >/dev/null
+printf '{"session":"load-a","options":{"seed":424242}}' >"$obsdir/probe.json"
+# Repeated session infers converge on a warm-start fixed point (cold
+# mint, then warm-keyed mints until the key repeats); the final probe
+# must be a cache hit and its bytes are what the restart must
+# reproduce.
+for _ in 1 2 3 4; do
+  "$obsdir/bluprobe" -addr "$addr" -path /v1/infer -body "$obsdir/probe.json" >/dev/null
+done
+"$obsdir/bluprobe" -addr "$addr" -path /v1/infer -body "$obsdir/probe.json" \
+  -require-cache hit -save-body "$obsdir/prekill.bin" >/dev/null
+# Let at least two snapshot ticks land so the minted cache entry is in
+# the on-disk image, then kill without ceremony.
+sleep 2.5
+kill -9 "$blud_pid"
+wait "$blud_pid" 2>/dev/null || true
+blud_pid=""
+"$obsdir/blud" -addr 127.0.0.1:0 -state "$statedir" \
+  -snapshot-interval 1s -wal-sync 5ms -manifest "$obsdir/blud2_manifest.json" \
+  >"$obsdir/blud3.out" 2>"$obsdir/blud3.err" &
+blud_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^blud: listening on //p' "$obsdir/blud3.out")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "ci: restarted blud never reported its address" >&2; cat "$obsdir/blud3.err" >&2; exit 1; }
+grep -q '^blud: recovered' "$obsdir/blud3.err" || {
+  echo "ci: restarted blud did not log its recovery" >&2; cat "$obsdir/blud3.err" >&2; exit 1; }
+"$obsdir/bluprobe" -addr "$addr" -path /v1/infer -body "$obsdir/probe.json" \
+  -require-cache hit -require-body-file "$obsdir/prekill.bin"
+kill -TERM "$blud_pid"
+wait "$blud_pid"
+blud_pid=""
+go run ./cmd/blumanifest \
+  -require persist_recovered_total,persist_snapshots_total \
+  "$obsdir/blud2_manifest.json"
 
 echo "ci: all clean"

@@ -41,9 +41,27 @@
 //	-max-timeout d   cap on client-supplied timeout_ms (default 2m)
 //	-manifest file   write a JSON run manifest here on shutdown
 //	-pprof addr      serve net/http/pprof on addr
+//	-state dir       durable session state under this directory: every
+//	                 accepted observe batch is WAL-logged before it
+//	                 folds and the live sessions are snapshotted
+//	                 periodically, so a restart (even kill -9) restores
+//	                 the streaming state digest-identically and session
+//	                 infers stay warm (DESIGN.md §15). Empty = memory-
+//	                 only.
+//	-snapshot-interval d  periodic snapshot cadence (default 30s;
+//	                 requires -state)
+//	-wal-sync d      WAL group-commit fsync interval; a crash loses at
+//	                 most this window of acknowledged observes
+//	                 (default 25ms; requires -state)
 //
-// SIGTERM or SIGINT triggers a graceful drain: the listener closes,
-// every accepted request finishes, and the manifest is flushed.
+// Flag ranges are validated up front — a zero session bound, a
+// non-positive window, or an unwritable -state directory is a clear
+// startup error, not a latent panic.
+//
+// SIGTERM or SIGINT triggers a graceful drain: /healthz flips to 503
+// "draining", the listener closes, every accepted request finishes, a
+// final state snapshot is serialized (with -state), and the manifest
+// is flushed.
 package main
 
 import (
@@ -79,11 +97,47 @@ func run(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on client timeout_ms")
 	manifest := fs.String("manifest", "", "write a JSON run manifest to this file on shutdown")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address")
+	stateDir := fs.String("state", "", "durable session state directory (empty = memory-only)")
+	snapInterval := fs.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (requires -state)")
+	walSync := fs.Duration("wal-sync", 25*time.Millisecond, "WAL group-commit fsync interval (requires -state)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	// Range-check every bound before anything starts: a bad flag is a
+	// one-line startup error naming the flag, never a latent panic or a
+	// daemon that silently cannot hold a session.
+	switch {
+	case *workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 = all cores), got %d", *workers)
+	case *solverPar < 0:
+		return fmt.Errorf("-solver-parallel must be >= 0 (0 = all cores), got %d", *solverPar)
+	case *queue < 1:
+		return fmt.Errorf("-queue must be >= 1, got %d", *queue)
+	case *cache < -1:
+		return fmt.Errorf("-cache must be >= -1 (-1 disables), got %d", *cache)
+	case *sessions < 1:
+		return fmt.Errorf("-sessions must be >= 1, got %d", *sessions)
+	case *window < 1:
+		return fmt.Errorf("-window must be >= 1, got %d", *window)
+	case *timeout <= 0:
+		return fmt.Errorf("-timeout must be positive, got %v", *timeout)
+	case *maxTimeout <= 0:
+		return fmt.Errorf("-max-timeout must be positive, got %v", *maxTimeout)
+	}
+	if *stateDir != "" {
+		if *snapInterval <= 0 {
+			return fmt.Errorf("-snapshot-interval must be positive, got %v", *snapInterval)
+		}
+		if *walSync <= 0 {
+			return fmt.Errorf("-wal-sync must be positive, got %v", *walSync)
+		}
+		if err := probeStateDir(*stateDir); err != nil {
+			return err
+		}
 	}
 
 	// The service is the metrics producer; recording is always on so
@@ -97,7 +151,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "blud: pprof on %s\n", got)
 	}
 
-	s := serve.New(serve.Config{
+	s, recovered, err := serve.NewDurable(serve.Config{
 		Workers:           *workers,
 		SolverParallelism: *solverPar,
 		QueueDepth:        *queue,
@@ -107,9 +161,20 @@ func run(args []string) error {
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		ManifestPath:      *manifest,
+		StateDir:          *stateDir,
+		SnapshotInterval:  *snapInterval,
+		WALSyncInterval:   *walSync,
 		Tool:              "blud",
 		Args:              args,
 	})
+	if err != nil {
+		return err
+	}
+	if *stateDir != "" {
+		fmt.Fprintf(os.Stderr,
+			"blud: recovered %d snapshot sessions + %d WAL records from %s (%d corrupt dropped)\n",
+			recovered.SnapshotRecords, recovered.WALReplayed, *stateDir, recovered.CorruptDropped)
+	}
 	bound, err := s.Listen(*addr)
 	if err != nil {
 		return err
@@ -133,4 +198,21 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "blud: manifest written to %s\n", *manifest)
 	}
 	return nil
+}
+
+// probeStateDir proves the state directory is usable before the server
+// exists: create it if missing and write-delete a probe file, so an
+// unwritable path fails startup with a clear error instead of
+// surfacing later as a failed snapshot mid-drain.
+func probeStateDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("-state %s: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".blud-probe-*")
+	if err != nil {
+		return fmt.Errorf("-state %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }

@@ -42,6 +42,12 @@
 // Exit status is nonzero when any request fails (transport error or a
 // status other than 200/429; 429s are backpressure, counted but not
 // failures).
+//
+// Backpressure is honored, not just counted: a 429 carrying
+// Retry-After makes the worker sleep out the advertised horizon —
+// capped, with seeded jitter so two runs back off identically and a
+// worker fleet never retries in lockstep — and retry the same request
+// up to three more times before letting the rejection stand.
 package main
 
 import (
@@ -54,6 +60,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -269,9 +277,35 @@ func (p *payloadPool) pick(idx int64) (int, []byte) {
 type tally struct {
 	latencies [numEndpoints][]float64 // milliseconds
 	ok        [numEndpoints]int
-	rejected  int // 429 backpressure
+	rejected  int // 429 backpressure responses received
+	retried   int // backoff sleeps taken honoring Retry-After
 	failed    int
 	firstErr  string
+}
+
+// backoff limits for honoring Retry-After: at most three retries per
+// request, never sleeping longer than the cap regardless of what the
+// server advertises.
+const (
+	maxRetryAttempts = 3
+	maxBackoff       = 2 * time.Second
+	defaultBackoff   = 100 * time.Millisecond
+)
+
+// retryAfterDelay converts a 429's Retry-After header into a bounded,
+// seeded-jittered sleep: the advertised seconds (or a small default
+// when absent/unparsable), capped at maxBackoff, scaled by a uniform
+// [0.5, 1.0) draw from the worker's own stream so backoff is
+// deterministic per (seed, worker) yet staggered across the fleet.
+func retryAfterDelay(header string, r *rng.Source) time.Duration {
+	d := defaultBackoff
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return time.Duration((0.5 + 0.5*r.Float64()) * float64(d))
 }
 
 func run(args []string) error {
@@ -330,8 +364,11 @@ func run(args []string) error {
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
-		go func(tl *tally) {
+		go func(w int, tl *tally) {
 			defer wg.Done()
+			// Each worker's backoff jitter is its own seeded stream, so a
+			// rerun with the same (seed, c) sleeps identically.
+			br := rng.New(*seed).SplitIndex("backoff", w)
 			for {
 				idx := next.Add(1) - 1
 				if idx >= *total {
@@ -349,39 +386,53 @@ func run(args []string) error {
 					}
 				}
 				ep, body := pool.pick(idx)
-				t0 := time.Now()
-				hreq, _ := http.NewRequest(http.MethodPost, base+epPaths[ep], bytes.NewReader(body))
-				if pool.binaryEp[ep] {
-					hreq.Header.Set("Content-Type", serve.ContentTypeBinary)
-					hreq.Header.Set("Accept", serve.ContentTypeBinary)
-				} else {
-					hreq.Header.Set("Content-Type", "application/json")
-				}
-				resp, err := client.Do(hreq)
-				lat := float64(time.Since(t0)) / float64(time.Millisecond)
-				if err != nil {
-					tl.failed++
-					if tl.firstErr == "" {
-						tl.firstErr = err.Error()
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					hreq, _ := http.NewRequest(http.MethodPost, base+epPaths[ep], bytes.NewReader(body))
+					if pool.binaryEp[ep] {
+						hreq.Header.Set("Content-Type", serve.ContentTypeBinary)
+						hreq.Header.Set("Accept", serve.ContentTypeBinary)
+					} else {
+						hreq.Header.Set("Content-Type", "application/json")
 					}
-					continue
-				}
-				rbody, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				switch resp.StatusCode {
-				case http.StatusOK:
-					tl.ok[ep]++
-					tl.latencies[ep] = append(tl.latencies[ep], lat)
-				case http.StatusTooManyRequests:
-					tl.rejected++
-				default:
+					resp, err := client.Do(hreq)
+					lat := float64(time.Since(t0)) / float64(time.Millisecond)
+					if err != nil {
+						tl.failed++
+						if tl.firstErr == "" {
+							tl.firstErr = err.Error()
+						}
+						break
+					}
+					rbody, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						tl.ok[ep]++
+						tl.latencies[ep] = append(tl.latencies[ep], lat)
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						// Honor the shed: sleep out the advertised horizon and
+						// retry the same request, up to the attempt cap. Past
+						// the window deadline the rejection stands — the run is
+						// over.
+						tl.rejected++
+						past := !deadline.IsZero() && time.Now().After(deadline)
+						if attempt >= maxRetryAttempts || past {
+							break
+						}
+						tl.retried++
+						time.Sleep(retryAfterDelay(resp.Header.Get("Retry-After"), br))
+						continue
+					}
 					tl.failed++
 					if tl.firstErr == "" {
 						tl.firstErr = fmt.Sprintf("%s: %d %s", epPaths[ep], resp.StatusCode, bytes.TrimSpace(rbody))
 					}
+					break
 				}
 			}
-		}(&tallies[w])
+		}(w, &tallies[w])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -394,6 +445,7 @@ func run(args []string) error {
 			merged.latencies[ep] = append(merged.latencies[ep], tl.latencies[ep]...)
 		}
 		merged.rejected += tl.rejected
+		merged.retried += tl.retried
 		merged.failed += tl.failed
 		if merged.firstErr == "" {
 			merged.firstErr = tl.firstErr
@@ -409,8 +461,8 @@ func run(args []string) error {
 	for ep := 0; ep < numEndpoints; ep++ {
 		totalOK += merged.ok[ep]
 	}
-	fmt.Printf("bluload: %d ok, %d rejected (429), %d failed in %v (%.1f req/s)\n",
-		totalOK, merged.rejected, merged.failed, wall.Round(time.Millisecond),
+	fmt.Printf("bluload: %d ok, %d rejected (429, %d retried), %d failed in %v (%.1f req/s)\n",
+		totalOK, merged.rejected, merged.retried, merged.failed, wall.Round(time.Millisecond),
 		float64(totalOK)/wall.Seconds())
 
 	report := &obs.BenchReport{

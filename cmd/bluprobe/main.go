@@ -1,0 +1,121 @@
+// Command bluprobe issues one HTTP request against a running blud and
+// asserts on the answer — the scriptable half of the restart-smoke in
+// ci.sh, which needs to prove that a session-keyed infer after a
+// kill -9 restart answers byte-identically from the restored cache.
+//
+// Usage:
+//
+//	bluprobe -addr HOST:PORT [flags]
+//
+// Flags:
+//
+//	-addr a               target daemon address (required)
+//	-path p               endpoint path (default /v1/infer)
+//	-body file            request body file (JSON; "-" reads stdin,
+//	                      empty sends a GET instead of a POST)
+//	-require-status n     fail unless the response status equals n
+//	                      (default 200)
+//	-require-cache v      fail unless the X-Blu-Cache header equals v
+//	                      (e.g. hit or miss; empty = don't check)
+//	-save-body file       write the response body here
+//	-require-body-file f  fail unless the response body is byte-
+//	                      identical to this file's contents
+//
+// Exit status is nonzero on transport errors or any failed assertion,
+// with a one-line reason on stderr.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bluprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bluprobe", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target daemon address (host:port)")
+	path := fs.String("path", "/v1/infer", "endpoint path")
+	bodyFile := fs.String("body", "", "request body file (- = stdin, empty = GET)")
+	wantStatus := fs.Int("require-status", http.StatusOK, "fail unless the response status matches")
+	wantCache := fs.String("require-cache", "", "fail unless X-Blu-Cache equals this (empty = skip)")
+	saveBody := fs.String("save-body", "", "write the response body to this file")
+	wantBodyFile := fs.String("require-body-file", "", "fail unless the body equals this file byte-for-byte")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var reqBody []byte
+	if *bodyFile == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("read stdin: %w", err)
+		}
+		reqBody = data
+	} else if *bodyFile != "" {
+		data, err := os.ReadFile(*bodyFile)
+		if err != nil {
+			return err
+		}
+		reqBody = data
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	url := "http://" + *addr + *path
+	var resp *http.Response
+	var err error
+	if reqBody == nil {
+		resp, err = client.Get(url)
+	} else {
+		resp, err = client.Post(url, "application/json", bytes.NewReader(reqBody))
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("read response: %w", err)
+	}
+
+	if resp.StatusCode != *wantStatus {
+		return fmt.Errorf("%s: status %d, want %d: %s", *path, resp.StatusCode, *wantStatus, bytes.TrimSpace(body))
+	}
+	if *wantCache != "" {
+		if got := resp.Header.Get("X-Blu-Cache"); got != *wantCache {
+			return fmt.Errorf("%s: X-Blu-Cache %q, want %q", *path, got, *wantCache)
+		}
+	}
+	if *saveBody != "" {
+		if err := os.WriteFile(*saveBody, body, 0o644); err != nil {
+			return err
+		}
+	}
+	if *wantBodyFile != "" {
+		want, err := os.ReadFile(*wantBodyFile)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(body, want) {
+			return fmt.Errorf("%s: body differs from %s (%d vs %d bytes)", *path, *wantBodyFile, len(body), len(want))
+		}
+	}
+	fmt.Printf("bluprobe: %s %d (%d bytes)\n", *path, resp.StatusCode, len(body))
+	return nil
+}

@@ -135,7 +135,9 @@ func TestWindowMatchesBatchEstimator(t *testing.T) {
 			sched, acc := ob[0].([]int), ob[1].(blueprint.ClientSet)
 			w.Fold(sched, acc)
 			e.Record(sched, acc)
-			if advEvery > 0 && o%int(advEvery+1) == 0 {
+			// Widen before incrementing: advEvery+1 in uint8 wraps 255 to
+			// 0 and the modulo would panic.
+			if advEvery > 0 && o%(int(advEvery)+1) == 0 {
 				if w.Advance() {
 					return false // must not evict under this capacity
 				}

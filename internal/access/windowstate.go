@@ -1,0 +1,146 @@
+// Window export/import: the serializable state of a windowed estimator,
+// used by the durability layer (internal/persist) to snapshot live
+// /v1/observe sessions and restore them digest-identically after a
+// restart. The exported form is the ring's observable content — the
+// canonical observations of every live epoch plus the pair-freshness
+// matrix — not the derived aggregate counters, which Import rebuilds by
+// re-folding, so a restored window is behaviorally indistinguishable
+// from one that never left memory: same Measurements, same Samples,
+// same Freshness at every ring position, and identical evolution under
+// further Fold/Advance calls.
+package access
+
+import (
+	"fmt"
+
+	"blu/internal/blueprint"
+)
+
+// WindowObs is one canonical observation of an exported epoch: the
+// deduplicated scheduled set, the accessed set, and how many subframes
+// within the epoch produced this exact outcome.
+type WindowObs struct {
+	Scheduled blueprint.ClientSet
+	Accessed  blueprint.ClientSet
+	Count     int
+}
+
+// WindowEpochState is one exported ring slot.
+type WindowEpochState struct {
+	Entries []WindowObs
+}
+
+// WindowState is the full serializable state of a Window. Epochs are
+// ordered oldest to newest; the last entry is the current (unsealed)
+// epoch, whose id is Seq. LastSeen flattens the upper triangle
+// (including the diagonal) of the pair-freshness matrix in (i <= j)
+// row-major order: entry for (i, j) is the epoch seq that last
+// co-scheduled the pair, -1 for never — kept explicitly because
+// freshness legitimately outlives the epochs that produced it (an
+// evicted epoch no longer contributes samples but still bounds how
+// stale a pair is).
+type WindowState struct {
+	N        int
+	Capacity int
+	Seq      int
+	Epochs   []WindowEpochState
+	LastSeen []int
+}
+
+// lastSeenLen is the flattened upper-triangle length for n clients.
+func lastSeenLen(n int) int { return n * (n + 1) / 2 }
+
+// Export captures the window's state. The result shares nothing with
+// the window: exporting then continuing to fold cannot mutate a
+// snapshot already taken.
+func (w *Window) Export() *WindowState {
+	st := &WindowState{
+		N:        w.n,
+		Capacity: len(w.epochs),
+		Seq:      w.seq,
+		Epochs:   make([]WindowEpochState, 0, w.live),
+		LastSeen: make([]int, 0, lastSeenLen(w.n)),
+	}
+	for k := 0; k < w.live; k++ {
+		ep := &w.epochs[(w.head+k)%len(w.epochs)]
+		entries := make([]WindowObs, len(ep.entries))
+		for i, o := range ep.entries {
+			entries[i] = WindowObs{Scheduled: o.sched, Accessed: o.accessed, Count: o.count}
+		}
+		st.Epochs = append(st.Epochs, WindowEpochState{Entries: entries})
+	}
+	for i := 0; i < w.n; i++ {
+		for j := i; j < w.n; j++ {
+			st.LastSeen = append(st.LastSeen, w.lastSeen[i][j])
+		}
+	}
+	return st
+}
+
+// ImportWindow rebuilds a Window from an exported state, validating
+// every structural invariant so corrupted or hand-built states fail
+// with an error instead of producing a window whose aggregate disagrees
+// with its ring. The aggregate counters are rebuilt by re-folding the
+// epoch entries, so Measurements of the restored window is exactly the
+// Measurements of the exported one.
+func ImportWindow(st *WindowState) (*Window, error) {
+	if st == nil {
+		return nil, fmt.Errorf("access: nil window state")
+	}
+	if st.N < 1 || st.N > blueprint.MaxClients {
+		return nil, fmt.Errorf("access: window state n=%d out of range [1,%d]", st.N, blueprint.MaxClients)
+	}
+	if st.Capacity < 1 {
+		return nil, fmt.Errorf("access: window state capacity=%d", st.Capacity)
+	}
+	if len(st.Epochs) < 1 || len(st.Epochs) > st.Capacity {
+		return nil, fmt.Errorf("access: window state has %d epochs for capacity %d", len(st.Epochs), st.Capacity)
+	}
+	if st.Seq < len(st.Epochs)-1 {
+		return nil, fmt.Errorf("access: window state seq=%d with %d live epochs", st.Seq, len(st.Epochs))
+	}
+	if len(st.LastSeen) != lastSeenLen(st.N) {
+		return nil, fmt.Errorf("access: window state has %d freshness entries, want %d",
+			len(st.LastSeen), lastSeenLen(st.N))
+	}
+	mask := blueprint.ClientSet(0)
+	for i := 0; i < st.N; i++ {
+		mask = mask.Add(i)
+	}
+	w := NewWindow(st.N, st.Capacity)
+	w.seq = st.Seq - (len(st.Epochs) - 1)
+	for k := range st.Epochs {
+		if k > 0 {
+			// The ring cannot evict here: len(st.Epochs) <= capacity, so
+			// Advance only seals.
+			w.Advance()
+		}
+		ep := &w.epochs[w.cur()]
+		for _, o := range st.Epochs[k].Entries {
+			if o.Count < 1 {
+				return nil, fmt.Errorf("access: window state epoch %d entry count %d", k, o.Count)
+			}
+			if o.Scheduled.Empty() {
+				return nil, fmt.Errorf("access: window state epoch %d entry with empty scheduled set", k)
+			}
+			if o.Scheduled != o.Scheduled.Intersect(mask) || o.Accessed != o.Accessed.Intersect(mask) {
+				return nil, fmt.Errorf("access: window state epoch %d entry outside n=%d clients", k, st.N)
+			}
+			w.agg.recordSet(o.Scheduled, o.Accessed, o.Count)
+			ep.entries = append(ep.entries, windowObs{sched: o.Scheduled, accessed: o.Accessed, count: o.Count})
+		}
+	}
+	li := 0
+	for i := 0; i < st.N; i++ {
+		for j := i; j < st.N; j++ {
+			last := st.LastSeen[li]
+			li++
+			if last < -1 || last > st.Seq {
+				return nil, fmt.Errorf("access: window state freshness (%d,%d)=%d outside [-1,%d]",
+					i, j, last, st.Seq)
+			}
+			w.lastSeen[i][j] = last
+		}
+	}
+	return w, nil
+}

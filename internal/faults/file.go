@@ -1,0 +1,82 @@
+// File-corruption injectors for the persist layer: seeded,
+// deterministic models of the three ways bytes rot on disk — a torn
+// write (an append cut off mid-record by a crash), tail truncation
+// (filesystem gave back less than was acknowledged), and bit flips
+// (media or transport corruption anywhere in the image). The persist
+// recovery path must survive all three: skip exactly the damaged
+// records, count them, and never panic. Like the rest of the package,
+// the same (seed, input) always produces the same damage, so a failing
+// recovery case replays exactly.
+package faults
+
+import (
+	"blu/internal/obs"
+	"blu/internal/rng"
+)
+
+var (
+	obsFileTears  = obs.GetCounter("faults_file_tears_total")
+	obsFileTruncs = obs.GetCounter("faults_file_truncations_total")
+	obsFileFlips  = obs.GetCounter("faults_file_bitflips_total")
+)
+
+// TornWrite returns data cut off at a seeded point inside its final
+// quarter — the shape a crash mid-append leaves: a valid prefix, then
+// a record boundary that never finished. The input is not modified.
+func TornWrite(seed uint64, data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	r := rng.New(seed).Split("faults:torn")
+	keep := len(data) - 1 - r.Intn(max(1, len(data)/4))
+	if keep < 0 {
+		keep = 0
+	}
+	obsFileTears.Inc()
+	out := make([]byte, keep)
+	copy(out, data[:keep])
+	return out
+}
+
+// Truncate drops a seeded number of trailing bytes, at least one and
+// at most maxDrop (clamped to the data's length; maxDrop < 1 selects
+// one). The input is not modified.
+func Truncate(seed uint64, data []byte, maxDrop int) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	if maxDrop < 1 {
+		maxDrop = 1
+	}
+	if maxDrop > len(data) {
+		maxDrop = len(data)
+	}
+	r := rng.New(seed).Split("faults:truncate")
+	drop := 1 + r.Intn(maxDrop)
+	obsFileTruncs.Inc()
+	out := make([]byte, len(data)-drop)
+	copy(out, data[:len(data)-drop])
+	return out
+}
+
+// BitFlip inverts flips seeded bit positions anywhere in data (flips
+// < 1 selects one; positions may repeat, so an even number of hits on
+// one bit cancels — the injector models independent corruption events,
+// not a popcount guarantee). The input is not modified.
+func BitFlip(seed uint64, data []byte, flips int) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	if flips < 1 {
+		flips = 1
+	}
+	r := rng.New(seed).Split("faults:bitflip")
+	out := make([]byte, len(data))
+	copy(out, data)
+	for k := 0; k < flips; k++ {
+		pos := r.Intn(len(out) * 8)
+		out[pos/8] ^= 1 << uint(pos%8)
+	}
+	obsFileFlips.Add(int64(flips))
+	return out
+}

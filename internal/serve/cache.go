@@ -71,6 +71,19 @@ func (c *lruCache) put(key uint64, body []byte) {
 	}
 }
 
+// peek returns the cached body for key without refreshing recency or
+// touching the hit/miss counters — the snapshot collector's read,
+// which must not perturb the cache it is recording.
+func (c *lruCache) peek(key uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).body, true
+}
+
 // remove drops key from the cache, reporting whether it was present.
 // It is the digest-delta invalidation primitive: a session whose
 // measurements changed removes exactly the entries it minted.

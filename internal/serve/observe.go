@@ -109,12 +109,28 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		s.dropSessionKeys(evicted)
 	}
 
+	// Durable servers log the batch before folding it. The canonical
+	// payload is encoded off the lock; the append itself (LSN
+	// assignment) happens inside the fold's critical section so WAL
+	// order and fold order agree per session.
+	var walPayload []byte
+	if s.store != nil {
+		walPayload, err = walObservePayload(&req, accessed)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	var resp ObserveResponse
+	var foldErr error
 	ran := false
 	if err := s.submit(ctx, func(context.Context) {
-		resp = s.foldObserve(sess, &req, accessed)
+		s.stateMu.RLock()
+		resp, foldErr = s.foldObserve(sess, &req, accessed, walPayload)
+		s.stateMu.RUnlock()
 		ran = true
 	}); err != nil {
 		st, msg := submitErrToStatus(err)
@@ -123,6 +139,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ran {
 		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	if foldErr != nil {
+		// The WAL refused the batch, so nothing folded: the observation
+		// is not durable and must not be acknowledged.
+		writeError(w, http.StatusInternalServerError, "durability layer: "+foldErr.Error())
 		return
 	}
 
@@ -139,15 +161,25 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 }
 
 // foldObserve applies one validated batch to its session under the
-// session lock: fold every observation, optionally seal the epoch,
-// recompute the canonical digest, and — when the digest moved —
-// invalidate exactly the cache entries this session minted. Fold,
-// digest, and invalidation share one critical section so an infer
-// snapshotting the session never sees them disagree.
-func (s *Server) foldObserve(sess *session, req *ObserveRequest, accessed []blueprint.ClientSet) ObserveResponse {
+// session lock: append the batch to the WAL (durable servers; the
+// append assigns the LSN here so per-session WAL order equals fold
+// order — sealing does not commute with folds), fold every
+// observation, optionally seal the epoch, recompute the canonical
+// digest, and — when the digest moved — invalidate exactly the cache
+// entries this session minted. Fold, digest, and invalidation share
+// one critical section so an infer snapshotting the session never sees
+// them disagree. A nil walPayload skips logging (memory-only servers
+// and WAL replay itself). An append error fails the batch before
+// anything folds — a fold either becomes durable or does not happen.
+func (s *Server) foldObserve(sess *session, req *ObserveRequest, accessed []blueprint.ClientSet, walPayload []byte) (ObserveResponse, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	resp := ObserveResponse{Session: sess.id}
+	if walPayload != nil && s.store != nil {
+		if _, err := s.store.Append(walPayload); err != nil {
+			return resp, err
+		}
+	}
 	for oi := range req.Observations {
 		if sess.win.Fold(req.Observations[oi].Scheduled, accessed[oi]) > 0 {
 			resp.Folded++
@@ -169,7 +201,7 @@ func (s *Server) foldObserve(sess *session, req *ObserveRequest, accessed []blue
 	}
 	resp.Epoch = sess.win.Epoch()
 	resp.Digest = fmt.Sprintf("%016x", dg)
-	return resp
+	return resp, nil
 }
 
 // dropSessionKeys invalidates every cache entry minted by a session

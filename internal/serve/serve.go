@@ -54,6 +54,7 @@ import (
 	"blu/internal/lte"
 	"blu/internal/obs"
 	"blu/internal/parallel"
+	"blu/internal/persist"
 	"blu/internal/sched"
 )
 
@@ -104,6 +105,20 @@ type Config struct {
 	// (default 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// StateDir, when set (via NewDurable), selects durable session
+	// state: observe batches are WAL-logged under it and sessions are
+	// snapshotted periodically and on drain (DESIGN.md §15). New ignores
+	// it — plain New is always memory-only.
+	StateDir string
+	// SnapshotInterval is the periodic snapshot cadence when StateDir
+	// is set (default 30s).
+	SnapshotInterval time.Duration
+	// WALSyncInterval is the WAL group-commit window: how long an
+	// acknowledged observe batch may stay memory-only (default 25ms).
+	WALSyncInterval time.Duration
+	// WALMaxPending bounds the unsynced WAL window; an append past it
+	// flushes inline (default 256).
+	WALMaxPending int
 	// ManifestPath, when set, is where Drain flushes the run manifest.
 	ManifestPath string
 	// Tool and Args identify the process in the manifest (default
@@ -133,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
 	}
 	if c.Tool == "" {
 		c.Tool = "blud"
@@ -178,9 +196,22 @@ type Server struct {
 	// submit holds it shared while enqueueing, Drain exclusively while
 	// flipping the flag, so after Drain observes the flag set no new job
 	// can enter the queue and jobs.Wait covers everything submitted.
+	// closing flips first thing in Drain — before the listener stops —
+	// so /healthz answers 503 "draining" and balancers stop routing
+	// while in-flight requests still complete.
 	drainMu  sync.RWMutex
 	draining bool
+	closing  bool
 	jobs     sync.WaitGroup
+
+	// Durable state (NewDurable with Config.StateDir): the persist
+	// store, the snapshot loop's lifecycle, and stateMu — held shared
+	// around every WAL-append+fold, exclusively while a snapshot cuts
+	// the WAL and collects the session image.
+	store    *persist.Store
+	stateMu  sync.RWMutex
+	snapStop chan struct{}
+	snapDone chan struct{}
 
 	// httpSrv/listener are set by Listen; Drain shuts them down first.
 	httpSrv  *http.Server
@@ -249,14 +280,19 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Drain gracefully stops the server: stop accepting requests (when
-// Listen was used, http.Server.Shutdown waits for every in-flight
-// handler), run every already-queued job to completion, stop the
-// worker pool, and flush the run manifest. No accepted request is
-// dropped. Drain is idempotent only in effect, not in metrics; call it
-// once.
+// Drain gracefully stops the server: flip /healthz to 503 "draining"
+// (balancers stop routing), stop accepting requests (when Listen was
+// used, http.Server.Shutdown waits for every in-flight handler), run
+// every already-queued job to completion, stop the worker pool,
+// serialize a final state snapshot (durable servers), and flush the
+// run manifest. No accepted request is dropped and every fold accepted
+// before the listener closed is in the final image. Drain is
+// idempotent only in effect, not in metrics; call it once.
 func (s *Server) Drain(ctx context.Context) error {
 	obsDrains.Inc()
+	s.drainMu.Lock()
+	s.closing = true
+	s.drainMu.Unlock()
 	var shutdownErr error
 	if s.httpSrv != nil {
 		// Stops the listener and blocks until in-flight handlers return —
@@ -284,6 +320,18 @@ func (s *Server) Drain(ctx context.Context) error {
 			shutdownErr = err
 		}
 	default:
+	}
+	if s.store != nil {
+		// Every handler has returned and the pool is stopped, so no fold
+		// is in flight: the final image captures everything accepted.
+		close(s.snapStop)
+		<-s.snapDone
+		if err := s.SnapshotNow(); err != nil && shutdownErr == nil {
+			shutdownErr = err
+		}
+		if err := s.store.Close(); err != nil && shutdownErr == nil {
+			shutdownErr = err
+		}
 	}
 	if s.cfg.ManifestPath != "" {
 		s.manifest.Finish()
@@ -805,16 +853,18 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz. A draining server answers 503 with
+// status "draining" so balancers take it out of rotation while
+// in-flight requests finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
-	draining := s.draining
+	draining := s.draining || s.closing
 	s.drainMu.RUnlock()
-	status := "ok"
 	if draining {
-		status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: status})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
 // handleMetrics is GET /metrics: the obs registry snapshot as JSON —

@@ -111,3 +111,31 @@ func (st *sessionStore) len() int {
 	defer st.mu.Unlock()
 	return st.ll.Len()
 }
+
+// export returns every live session, most recently used first — the
+// order snapshots record, so install rebuilds the same LRU order.
+func (st *sessionStore) export() []*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*session, 0, st.ll.Len())
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*session))
+	}
+	return out
+}
+
+// install appends a restored session at the LRU tail: called in export
+// order (most recent first), it reproduces the saved recency. A full
+// registry or a duplicate id refuses the install (false) — restore
+// counts the record dropped rather than evicting sessions it just
+// restored.
+func (st *sessionStore) install(s *session) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.items[s.id]; ok || st.ll.Len() >= st.max {
+		return false
+	}
+	st.items[s.id] = st.ll.PushBack(s)
+	obsSessions.Set(float64(st.ll.Len()))
+	return true
+}
