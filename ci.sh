@@ -96,7 +96,11 @@ echo "== serve smoke =="
 # serve_cache_hit_total), and (c) a SIGTERM drain flushes a manifest
 # that validates with the same counters.
 blud_pid=""
-trap 'kill "$blud_pid" 2>/dev/null; rm -rf "$obsdir"' EXIT
+# kill runs unquoted and || true'd: at normal exit the pid vars are
+# empty, and a bare/empty kill is an error that would abort the trap
+# (set -e) before rm — leaving the temp dir behind and, worse, turning
+# a fully clean run into a nonzero exit.
+trap 'kill $blud_pid 2>/dev/null || true; rm -rf "$obsdir"' EXIT
 go build -race -o "$obsdir/blud" ./cmd/blud
 go build -race -o "$obsdir/bluload" ./cmd/bluload
 "$obsdir/blud" -addr 127.0.0.1:0 -manifest "$obsdir/blud_manifest.json" \
@@ -204,5 +208,118 @@ blud_pid=""
 go run ./cmd/blumanifest \
   -require persist_recovered_total,persist_snapshots_total \
   "$obsdir/blud2_manifest.json"
+
+echo "== fleet smoke =="
+# The multi-cell shard fleet end to end, race-instrumented and truly
+# multi-process: three blufleet shards on fixed loopback ports (peer
+# URLs pre-wired for cross-shard blueprint exchange) behind one router
+# process. A bluload -cells run drives the per-cell observe/infer mix
+# through the router's proxy path, and after a warm-up pause for
+# exchange rounds a second run's report must carry Fleet/* entries plus
+# nonzero routing, exchange, and border-dedup counters (the router's
+# /metrics aggregates the shard snapshots, so the exchange counters
+# cross process boundaries to get there). Then the crash drill: one
+# shard dies by real kill -9 and is relaunched on the same port and
+# state dir — it must log its recovery, answer its cell's session with
+# a byte-identical digest, and the surviving shards' cached responses
+# must still answer byte-identically through the router.
+go build -race -o "$obsdir/blufleet" ./cmd/blufleet
+fleetstate="$obsdir/fleetstate"
+fs0=127.0.0.1:18460; fs1=127.0.0.1:18461; fs2=127.0.0.1:18462
+fleet_pids=""
+trap 'kill $fleet_pids $blud_pid 2>/dev/null || true; rm -rf "$obsdir"' EXIT
+start_fleet_shard() { # name addr peers... ; echoes the pid
+  _name="$1"; _addr="$2"; shift 2
+  "$obsdir/blufleet" -mode shard -name "$_name" -cells 3 -seed 1 -shards 3 \
+    -addr "$_addr" -state "$fleetstate/$_name" -exchange 300ms \
+    -snapshot-interval 1s -wal-sync 5ms "$@" \
+    >"$obsdir/fleet_$_name.out" 2>"$obsdir/fleet_$_name.err" &
+  echo $!
+}
+s0_pid="$(start_fleet_shard shard-0 "$fs0" -peer shard-1="http://$fs1" -peer shard-2="http://$fs2")"
+s1_pid="$(start_fleet_shard shard-1 "$fs1" -peer shard-0="http://$fs0" -peer shard-2="http://$fs2")"
+s2_pid="$(start_fleet_shard shard-2 "$fs2" -peer shard-0="http://$fs0" -peer shard-1="http://$fs1")"
+fleet_pids="$s0_pid $s1_pid $s2_pid"
+"$obsdir/blufleet" -mode router -cells 3 -seed 1 -shards 3 -addr 127.0.0.1:0 \
+  -shard shard-0="http://$fs0" -shard shard-1="http://$fs1" -shard shard-2="http://$fs2" \
+  >"$obsdir/fleet_router.out" 2>"$obsdir/fleet_router.err" &
+router_pid=$!
+fleet_pids="$fleet_pids $router_pid"
+faddr=""
+for _ in $(seq 1 50); do
+  faddr="$(sed -n 's/^blufleet: router listening on //p' "$obsdir/fleet_router.out")"
+  if [ -n "$faddr" ] && \
+     grep -q 'listening on' "$obsdir/fleet_shard-0.out" 2>/dev/null && \
+     grep -q 'listening on' "$obsdir/fleet_shard-1.out" 2>/dev/null && \
+     grep -q 'listening on' "$obsdir/fleet_shard-2.out" 2>/dev/null; then
+    break
+  fi
+  faddr=""
+  sleep 0.2
+done
+if [ -z "$faddr" ]; then
+  echo "ci: fleet never came up" >&2
+  cat "$obsdir"/fleet_*.err >&2
+  exit 1
+fi
+"$obsdir/bluload" -addr "$faddr" -cells 3 -seed 1 -c 4 -n 300 -mix observe >/dev/null
+# Let several exchange intervals elapse over the freshly inferred
+# blueprints so border reports are published and re-received (dedup).
+sleep 1.2
+"$obsdir/bluload" -addr "$faddr" -cells 3 -seed 1 -c 4 -n 150 -mix observe \
+  -o "$obsdir/bench_fleet.json" >/dev/null
+go run ./cmd/blumanifest -bench \
+  -require-entry Fleet/infer,Fleet/observe,Fleet/joint,Fleet/schedule \
+  -require fleet_routed_total,fleet_exchange_rounds_total,fleet_exchange_published_total,fleet_border_dedup_total \
+  "$obsdir/bench_fleet.json"
+# The merged global interference map must answer through the router.
+"$obsdir/bluprobe" -addr "$faddr" -path /v1/fleet/map >/dev/null
+# Crash drill. With (-cells 3, -seed 1) the ring assigns cell-0 to
+# shard-1 and cell-2 to shard-2: shard-2 is the victim, and a probe
+# session on cell-0 (outside the cell:* namespace, so exchange seeding
+# never moves its warm start) pins the survivors' cache bytes.
+printf '{"session":"probe:cell-0","n":4,"observations":[{"scheduled":[0,1,2,3],"accessed":[0,1,3]}],"seal":true}' \
+  >"$obsdir/fleet_obs.json"
+"$obsdir/bluprobe" -addr "$faddr" -path "/v1/observe?cell=cell-0" -body "$obsdir/fleet_obs.json" >/dev/null
+printf '{"session":"probe:cell-0","options":{"seed":77}}' >"$obsdir/fleet_probe.json"
+for _ in 1 2 3 4; do
+  "$obsdir/bluprobe" -addr "$faddr" -path "/v1/infer?cell=cell-0" -body "$obsdir/fleet_probe.json" >/dev/null
+done
+"$obsdir/bluprobe" -addr "$faddr" -path "/v1/infer?cell=cell-0" -body "$obsdir/fleet_probe.json" \
+  -require-cache hit -save-body "$obsdir/fleet_prekill.bin" >/dev/null
+# Pin the victim's cell digest (an empty observe batch folds nothing
+# and echoes the canonical digest — cell-2 has 7 members).
+printf '{"session":"cell:cell-2","n":7}' >"$obsdir/fleet_cell2.json"
+"$obsdir/bluprobe" -addr "$faddr" -path "/v1/observe?cell=cell-2" -body "$obsdir/fleet_cell2.json" \
+  -save-body "$obsdir/fleet_cell2_pre.bin" >/dev/null
+# Let a snapshot tick land, then kill the victim without ceremony.
+sleep 1.5
+kill -9 "$s2_pid"
+wait "$s2_pid" 2>/dev/null || true
+# Fresh log files: the first boot also logs a (zero) recovery line, and
+# the liveness poll must not match stale output.
+rm -f "$obsdir/fleet_shard-2.out" "$obsdir/fleet_shard-2.err"
+s2_pid="$(start_fleet_shard shard-2 "$fs2" -peer shard-0="http://$fs0" -peer shard-1="http://$fs1")"
+fleet_pids="$s0_pid $s1_pid $s2_pid $router_pid"
+for _ in $(seq 1 50); do
+  grep -q 'listening on' "$obsdir/fleet_shard-2.out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q '^blufleet: shard shard-2 recovered' "$obsdir/fleet_shard-2.err" || {
+  echo "ci: restarted fleet shard did not log its recovery" >&2
+  cat "$obsdir/fleet_shard-2.err" >&2
+  exit 1
+}
+# The victim answers its cell digest-identically; the survivors' cached
+# probe response is still a byte-identical hit.
+"$obsdir/bluprobe" -addr "$faddr" -path "/v1/observe?cell=cell-2" -body "$obsdir/fleet_cell2.json" \
+  -require-body-file "$obsdir/fleet_cell2_pre.bin" >/dev/null
+"$obsdir/bluprobe" -addr "$faddr" -path "/v1/infer?cell=cell-0" -body "$obsdir/fleet_probe.json" \
+  -require-cache hit -require-body-file "$obsdir/fleet_prekill.bin"
+kill -TERM $fleet_pids
+for pid in $fleet_pids; do
+  wait "$pid" 2>/dev/null || true
+done
+fleet_pids=""
 
 echo "ci: all clean"

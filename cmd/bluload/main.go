@@ -26,6 +26,16 @@
 //	             refresh loop under load). Sessions are pre-seeded
 //	             synchronously before the window starts, so no worker
 //	             races a 404.
+//	-cells n     fleet mode: target a blufleet router instead of a single
+//	             daemon and drive a per-cell mix over n cells — observe
+//	             batches and session-keyed infers against the canonical
+//	             cell:<id> sessions (every request routed with ?cell=),
+//	             plus joint/schedule cycled across cells round-robin.
+//	             The cell directory is derived from (-cells, -seed), the
+//	             same derivation blufleet uses, so membership agrees
+//	             with the fleet without shared files. Report entries are
+//	             named Fleet/* and the embedded /metrics snapshot is the
+//	             router's fleet-wide aggregate.
 //	-codec c     infer wire codec: json (default) or binary — binary
 //	             sends serve's length-prefixed frames and asks for them
 //	             back via Accept, so comparing the two runs isolates
@@ -67,6 +77,7 @@ import (
 	"time"
 
 	"blu/internal/blueprint"
+	"blu/internal/fleet"
 	"blu/internal/obs"
 	"blu/internal/rng"
 	"blu/internal/serve"
@@ -97,14 +108,38 @@ var epPaths = [numEndpoints]string{"/v1/infer", "/v1/joint", "/v1/schedule", "/v
 // typical request counts so repeats exercise the daemon's result cache.
 type payloadPool struct {
 	byEndpoint [numEndpoints][][]byte
+	// cellQ, when populated for an endpoint, aligns with byEndpoint and
+	// carries each payload's routing query ("?cell=<id>") for fleet runs.
+	cellQ [numEndpoints][]string
 	// binaryEp marks endpoints whose bodies are binary frames, so the
 	// worker sets the matching Content-Type/Accept headers.
 	binaryEp [numEndpoints]bool
 	mix      string
+	fleet    bool
 	// seedObserve holds one observe batch per session, posted
 	// synchronously before the measurement window so every session a
-	// worker's infer names already exists.
+	// worker's infer names already exists; seedQ aligns with it in fleet
+	// runs.
 	seedObserve [][]byte
+	seedQ       []string
+}
+
+// entryName renders an endpoint's bench-report name: Serve/* against a
+// single daemon, Fleet/* through a router.
+func (p *payloadPool) entryName(ep int) string {
+	if p.fleet {
+		return "Fleet/" + strings.TrimPrefix(epNames[ep], "Serve/")
+	}
+	return epNames[ep]
+}
+
+// query returns the payload's routing query suffix ("" outside fleet
+// runs).
+func (p *payloadPool) query(ep, k int) string {
+	if p.cellQ[ep] == nil {
+		return ""
+	}
+	return p.cellQ[ep][k]
 }
 
 // buildPool synthesizes the corpus from seed alone. Topologies are
@@ -256,7 +291,7 @@ func buildPool(seed uint64, binaryInfer bool, mix string) *payloadPool {
 // session infer, 20% joint, 20% schedule — observes and session infers
 // interleave on the same sessions, so digests move under in-flight
 // infers and the invalidation path runs for real.
-func (p *payloadPool) pick(idx int64) (int, []byte) {
+func (p *payloadPool) pick(idx int64) (int, []byte, string) {
 	ep := epInfer
 	switch idx % 10 {
 	case 0, 1, 2:
@@ -269,7 +304,123 @@ func (p *payloadPool) pick(idx int64) (int, []byte) {
 		ep = epSchedule
 	}
 	bodies := p.byEndpoint[ep]
-	return ep, bodies[int(idx/10)%len(bodies)]
+	k := int(idx/10) % len(bodies)
+	return ep, bodies[k], p.query(ep, k)
+}
+
+// buildFleetPool synthesizes the fleet corpus over a cell directory:
+// observe batches and session-keyed infers against each cell's
+// canonical cell:<id> session (client count = the cell's member count),
+// joint and schedule payloads cycled across cells. Every payload
+// carries its routing query, so the whole mix flows through a blufleet
+// router's proxy path.
+func buildFleetPool(seed uint64, dir fleet.Directory, binaryObserve bool) *payloadPool {
+	r := rng.New(seed).Split("fleet-payloads")
+	pool := &payloadPool{mix: "observe", fleet: true}
+	pool.binaryEp[epObserve] = binaryObserve
+
+	randTopo := func(r *rng.Source, n int) *blueprint.Topology {
+		topo := &blueprint.Topology{N: n}
+		for h := 0; h < 1+r.Intn(2); h++ {
+			size := 2 + r.Intn(2)
+			var set blueprint.ClientSet
+			for set.Count() < size {
+				set = set.Add(r.Intn(n))
+			}
+			topo.HTs = append(topo.HTs, blueprint.HiddenTerminal{
+				Q:       0.2 + 0.4*r.Float64(),
+				Clients: set,
+			})
+		}
+		return topo
+	}
+
+	const batchesPerCell = 4
+	ro := r.Split("observe")
+	for ci := range dir.Cells {
+		cell := &dir.Cells[ci]
+		q := "?cell=" + cell.ID
+		n := len(cell.Members)
+		rc := ro.SplitIndex("cell", ci)
+		for k := 0; k < batchesPerCell; k++ {
+			req := serve.ObserveRequest{
+				Session: fleet.SessionName(cell.ID),
+				N:       n,
+				Seal:    k%2 == 1,
+			}
+			for o := 0; o < 8; o++ {
+				var ob serve.ObservationWire
+				for c := 0; c < n; c++ {
+					if rc.Intn(4) > 0 {
+						ob.Scheduled = append(ob.Scheduled, c)
+						if rc.Intn(3) > 0 {
+							ob.Accessed = append(ob.Accessed, c)
+						}
+					}
+				}
+				req.Observations = append(req.Observations, ob)
+			}
+			var body []byte
+			if binaryObserve {
+				body, _ = serve.EncodeObserveRequest(&req)
+			} else {
+				body, _ = json.Marshal(req)
+			}
+			pool.byEndpoint[epObserve] = append(pool.byEndpoint[epObserve], body)
+			pool.cellQ[epObserve] = append(pool.cellQ[epObserve], q)
+			if k == 0 {
+				pool.seedObserve = append(pool.seedObserve, body)
+				pool.seedQ = append(pool.seedQ, q)
+			}
+		}
+		body, _ := json.Marshal(serve.InferRequest{
+			Session: fleet.SessionName(cell.ID),
+			Options: serve.InferOptionsWire{Seed: 200 + uint64(ci)},
+		})
+		pool.byEndpoint[epInfer] = append(pool.byEndpoint[epInfer], body)
+		pool.cellQ[epInfer] = append(pool.cellQ[epInfer], q)
+	}
+
+	// Joint/schedule are stateless; cycle them across cells so the
+	// router's proxy path sees every shard.
+	rj := r.Split("joint")
+	rs := r.Split("schedule")
+	const statelessPayloads = 12
+	for k := 0; k < statelessPayloads; k++ {
+		cell := &dir.Cells[k%len(dir.Cells)]
+		q := "?cell=" + cell.ID
+		n := len(cell.Members)
+
+		topo := randTopo(rj, n)
+		clear := []int{rj.Intn(n)}
+		blocked := []int{}
+		if b := rj.Intn(n); b != clear[0] {
+			blocked = append(blocked, b)
+		}
+		body, _ := json.Marshal(serve.JointRequest{
+			Topology: serve.TopologyToWire(topo),
+			Clear:    clear,
+			Blocked:  blocked,
+		})
+		pool.byEndpoint[epJoint] = append(pool.byEndpoint[epJoint], body)
+		pool.cellQ[epJoint] = append(pool.cellQ[epJoint], q)
+
+		stopo := randTopo(rs, n)
+		rates := make([][]float64, n)
+		for i := range rates {
+			rates[i] = []float64{(1 + 9*rs.Float64()) * 1e6}
+		}
+		body, _ = json.Marshal(serve.ScheduleRequest{
+			Topology:  serve.TopologyToWire(stopo),
+			NumRB:     25,
+			M:         2 + rs.Intn(3),
+			Scheduler: [3]string{"blu", "aa", "pf"}[rs.Intn(3)],
+			Rates:     rates,
+		})
+		pool.byEndpoint[epSchedule] = append(pool.byEndpoint[epSchedule], body)
+		pool.cellQ[epSchedule] = append(pool.cellQ[epSchedule], q)
+	}
+	return pool
 }
 
 // tally accumulates one worker's observations, merged after the run so
@@ -317,6 +468,7 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 0, "run for this long instead of a fixed count")
 	qps := fs.Float64("qps", 0, "paced request rate (0 = unpaced)")
 	mix := fs.String("mix", "default", "traffic mix: default or observe")
+	cells := fs.Int("cells", 0, "fleet mode: per-cell mix over this many cells through a blufleet router (0 = single daemon)")
 	codec := fs.String("codec", "json", "infer wire codec: json or binary")
 	out := fs.String("o", "", "write an obs.BenchReport JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -334,21 +486,40 @@ func run(args []string) error {
 	if *mix != "default" && *mix != "observe" {
 		return fmt.Errorf("-mix must be default or observe, got %q", *mix)
 	}
+	if *cells < 0 {
+		return fmt.Errorf("-cells must be >= 0, got %d", *cells)
+	}
 	binaryInfer := *codec == "binary"
 	base := "http://" + *addr
 
-	// Liveness gate before spending the measurement window.
+	// Liveness gate before spending the measurement window. A fleet
+	// router's /healthz carries the same "status" field and reports
+	// "ok" only when every shard answers, so the gate covers the whole
+	// fleet in -cells mode.
 	if err := checkHealth(base); err != nil {
 		return err
 	}
 
-	pool := buildPool(*seed, binaryInfer, *mix)
+	var pool *payloadPool
+	if *cells > 0 {
+		dir, err := fleet.DefaultDirectory(*cells, *seed)
+		if err != nil {
+			return fmt.Errorf("-cells %d: %w", *cells, err)
+		}
+		pool = buildFleetPool(*seed, dir, binaryInfer)
+	} else {
+		pool = buildPool(*seed, binaryInfer, *mix)
+	}
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	// Observe mix: mint every session synchronously before workers
 	// start, so no concurrent session infer races its creation to a 404.
 	for i, body := range pool.seedObserve {
-		if err := postSeed(client, base+epPaths[epObserve], body, pool.binaryEp[epObserve]); err != nil {
+		q := ""
+		if i < len(pool.seedQ) {
+			q = pool.seedQ[i]
+		}
+		if err := postSeed(client, base+epPaths[epObserve]+q, body, pool.binaryEp[epObserve]); err != nil {
 			return fmt.Errorf("session pre-seed %d: %w", i, err)
 		}
 	}
@@ -385,10 +556,10 @@ func run(args []string) error {
 						time.Sleep(d)
 					}
 				}
-				ep, body := pool.pick(idx)
+				ep, body, cellQ := pool.pick(idx)
 				for attempt := 0; ; attempt++ {
 					t0 := time.Now()
-					hreq, _ := http.NewRequest(http.MethodPost, base+epPaths[ep], bytes.NewReader(body))
+					hreq, _ := http.NewRequest(http.MethodPost, base+epPaths[ep]+cellQ, bytes.NewReader(body))
 					if pool.binaryEp[ep] {
 						hreq.Header.Set("Content-Type", serve.ContentTypeBinary)
 						hreq.Header.Set("Accept", serve.ContentTypeBinary)
@@ -469,7 +640,7 @@ func run(args []string) error {
 		GoVersion:   runtime.Version(),
 		GitDescribe: obs.GitDescribe(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Note:        fmt.Sprintf("bluload seed=%d c=%d mix=%s codec=%s against %s", *seed, *conc, *mix, *codec, *addr),
+		Note:        fmt.Sprintf("bluload seed=%d c=%d mix=%s cells=%d codec=%s against %s", *seed, *conc, *mix, *cells, *codec, *addr),
 	}
 	for ep := 0; ep < numEndpoints; ep++ {
 		lats := merged.latencies[ep]
@@ -477,7 +648,7 @@ func run(args []string) error {
 			if len(pool.byEndpoint[ep]) == 0 {
 				continue // endpoint not in this mix
 			}
-			fmt.Printf("  %-16s no completed requests\n", epNames[ep])
+			fmt.Printf("  %-16s no completed requests\n", pool.entryName(ep))
 			continue
 		}
 		var sum float64
@@ -489,9 +660,9 @@ func run(args []string) error {
 		p90, _ := stats.Percentile(lats, 90)
 		p99, _ := stats.Percentile(lats, 99)
 		fmt.Printf("  %-16s n=%-5d mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms\n",
-			epNames[ep], len(lats), mean, p50, p90, p99)
+			pool.entryName(ep), len(lats), mean, p50, p90, p99)
 		report.Entries = append(report.Entries, obs.BenchEntry{
-			Name:       epNames[ep],
+			Name:       pool.entryName(ep),
 			Iterations: len(lats),
 			NsPerOp:    int64(mean * float64(time.Millisecond)),
 			MsPerOp:    mean,

@@ -1,0 +1,138 @@
+// The cell directory: the fleet-wide description of which global UEs
+// each cell can hear. Every shard, the router, and the load generator
+// build it from the same deterministic multi-cell scenario (cells +
+// seed), so all parties agree on per-cell client counts, the canonical
+// local index of every member (position in the sorted global-id list),
+// and which members two cells share — the id algebra the blueprint
+// exchange translates hidden terminals through.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"blu/internal/blueprint"
+	"blu/internal/topology"
+)
+
+// CellInfo describes one cell's client set.
+type CellInfo struct {
+	// ID is the routing key ("cell-0", ...).
+	ID string `json:"id"`
+	// Members are the global UE ids audible in the cell, ascending. A
+	// member's local index is its position in this list.
+	Members []int `json:"members"`
+}
+
+// LocalIndex returns the cell-local index of global id g, or -1.
+func (c *CellInfo) LocalIndex(g int) int {
+	i := sort.SearchInts(c.Members, g)
+	if i < len(c.Members) && c.Members[i] == g {
+		return i
+	}
+	return -1
+}
+
+// LocalSet maps global ids onto the cell's local ClientSet, dropping
+// ids the cell cannot hear.
+func (c *CellInfo) LocalSet(globals []int) blueprint.ClientSet {
+	var set blueprint.ClientSet
+	for _, g := range globals {
+		if i := c.LocalIndex(g); i >= 0 {
+			set = set.Add(i)
+		}
+	}
+	return set
+}
+
+// GlobalIDs maps a local ClientSet back to sorted global ids.
+func (c *CellInfo) GlobalIDs(set blueprint.ClientSet) []int {
+	out := make([]int, 0, set.Count())
+	set.ForEach(func(i int) {
+		if i < len(c.Members) {
+			out = append(out, c.Members[i])
+		}
+	})
+	return out
+}
+
+// Directory is the fleet-wide cell listing.
+type Directory struct {
+	Cells []CellInfo `json:"cells"`
+}
+
+// NewDirectory derives the directory from a multi-cell scenario.
+func NewDirectory(ms *topology.MultiScenario) Directory {
+	d := Directory{Cells: make([]CellInfo, len(ms.Cells))}
+	for i, cv := range ms.Cells {
+		d.Cells[i] = CellInfo{
+			ID:      cv.ID,
+			Members: append([]int(nil), cv.Members...),
+		}
+	}
+	return d
+}
+
+// Cell returns the cell with the given id.
+func (d *Directory) Cell(id string) (*CellInfo, bool) {
+	for i := range d.Cells {
+		if d.Cells[i].ID == id {
+			return &d.Cells[i], true
+		}
+	}
+	return nil, false
+}
+
+// CellIDs lists every cell id in directory order.
+func (d *Directory) CellIDs() []string {
+	ids := make([]string, len(d.Cells))
+	for i := range d.Cells {
+		ids[i] = d.Cells[i].ID
+	}
+	return ids
+}
+
+// SharedMembers returns the global ids audible in both cells (the
+// border UEs of the pair), ascending.
+func (d *Directory) SharedMembers(a, b *CellInfo) []int {
+	var out []int
+	for _, g := range a.Members {
+		if b.LocalIndex(g) >= 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Validate checks directory invariants: unique non-empty cell ids,
+// sorted unique members, and per-cell client counts within the
+// blueprint cap.
+func (d *Directory) Validate() error {
+	seen := map[string]bool{}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.ID == "" {
+			return fmt.Errorf("fleet: cell %d has empty id", i)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("fleet: duplicate cell id %q", c.ID)
+		}
+		seen[c.ID] = true
+		if len(c.Members) == 0 || len(c.Members) > blueprint.MaxClients {
+			return fmt.Errorf("fleet: cell %q has %d members, want 1..%d", c.ID, len(c.Members), blueprint.MaxClients)
+		}
+		for j := 1; j < len(c.Members); j++ {
+			if c.Members[j-1] >= c.Members[j] {
+				return fmt.Errorf("fleet: cell %q members not strictly ascending", c.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// SessionName is the canonical per-cell session id on a shard: every
+// component routing by cell id folds its observations into (and infers
+// from) this session. Exchange seeding touches only these sessions, so
+// probes wanting byte-stable cache behavior use ids outside the
+// "cell:" namespace.
+func SessionName(cellID string) string { return "cell:" + cellID }

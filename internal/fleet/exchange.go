@@ -1,0 +1,167 @@
+// Blueprint exchange: the cross-cell gossip that stops the fleet from
+// re-inferring the same physical hidden terminal in every cell that
+// hears it. Each round, a shard walks its owned cells' inferred
+// blueprints, restricts every hidden terminal to the members shared
+// with each overlapping peer cell, translates the client sets to
+// global ids, and ships the reports to the peer cell's owning shard.
+// The receiver folds fresh reports into the target cell's warm-start
+// seed (so the next inference starts from the shared structure) and
+// counts re-received knowledge as dedup hits instead of folding twice.
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"blu/internal/blueprint"
+	"blu/internal/obs"
+)
+
+var (
+	obsExchangeRounds    = obs.GetCounter("fleet_exchange_rounds_total")
+	obsExchangePublished = obs.GetCounter("fleet_exchange_published_total")
+	obsExchangeReceived  = obs.GetCounter("fleet_exchange_received_total")
+	obsExchangeFold      = obs.GetCounter("fleet_exchange_fold_total")
+	obsBorderDedup       = obs.GetCounter("fleet_border_dedup_total")
+	obsExchangeErrors    = obs.GetCounter("fleet_exchange_error_total")
+)
+
+// dedupQTol is the access-probability tolerance under which a received
+// border hidden terminal counts as already-known: independent
+// inferences of the same physical interferer land within a few percent
+// of each other, while genuinely different interferers with the same
+// blocked set usually differ more.
+const dedupQTol = 0.1
+
+// BorderHTWire is one hidden terminal restricted to border members, on
+// the wire in global UE ids — the only indexing both sides share.
+type BorderHTWire struct {
+	Q       float64 `json:"q"`
+	Clients []int   `json:"clients"`
+}
+
+// CellReports carries every border report targeting one cell.
+type CellReports struct {
+	// Cell is the target cell id (owned by the receiving shard).
+	Cell string `json:"cell"`
+	// From is the cell the reports were inferred in.
+	From string `json:"from"`
+	// HTs are the border hidden terminals, clients in global ids.
+	HTs []BorderHTWire `json:"hts"`
+}
+
+// ExchangeRequest is the POST /v1/fleet/exchange body.
+type ExchangeRequest struct {
+	// From names the sending shard (diagnostic).
+	From string `json:"from"`
+	// Reports groups border HTs by target cell.
+	Reports []CellReports `json:"reports"`
+}
+
+// ExchangeResponse accounts what the receiver did with the batch.
+type ExchangeResponse struct {
+	// Received counts reports accepted for processing.
+	Received int `json:"received"`
+	// Folded counts reports folded into a cell's warm-start seed.
+	Folded int `json:"folded"`
+	// Deduped counts reports already known to the receiver.
+	Deduped int `json:"deduped"`
+	// Skipped counts reports that could not be applied (unknown cell,
+	// no shared members, seed failure).
+	Skipped int `json:"skipped"`
+}
+
+// borderReports builds the reports cell `from` owes cell `to`:
+// every hidden terminal of topo (local to `from`) whose client set
+// intersects the members shared with `to`, restricted to that
+// intersection and translated to global ids. Reports are sorted for a
+// deterministic wire rendering.
+func borderReports(dir *Directory, from, to *CellInfo, topo *blueprint.Topology) []BorderHTWire {
+	if topo == nil {
+		return nil
+	}
+	shared := dir.SharedMembers(from, to)
+	if len(shared) == 0 {
+		return nil
+	}
+	sharedLocal := from.LocalSet(shared)
+	var out []BorderHTWire
+	for _, ht := range topo.HTs {
+		inter := ht.Clients.Intersect(sharedLocal)
+		if inter.Empty() {
+			continue
+		}
+		out = append(out, BorderHTWire{Q: ht.Q, Clients: from.GlobalIDs(inter)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Clients, out[j].Clients
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return out[i].Q < out[j].Q
+	})
+	return out
+}
+
+// foldReport applies one border report to the target cell's session on
+// the local server, classifying it as dedup (an existing blueprint HT
+// already covers the reported clients at a compatible q), fold (seeded
+// into the warm start), or skip (not applicable).
+func (sh *Shard) foldReport(target *CellInfo, rep BorderHTWire) (folded, deduped bool) {
+	set := target.LocalSet(rep.Clients)
+	if set.Empty() || rep.Q <= 0 || rep.Q >= 1 {
+		return false, false
+	}
+	n := len(target.Members)
+	cur, _, _, ok := sh.srv.SessionBlueprint(SessionName(target.ID))
+	if ok && cur != nil {
+		for _, ht := range cur.HTs {
+			if ht.Clients.Contains(set) && math.Abs(ht.Q-rep.Q) <= dedupQTol {
+				return false, true
+			}
+		}
+	}
+	seed := &blueprint.Topology{N: n}
+	if cur != nil {
+		seed.HTs = append(seed.HTs, cur.HTs...)
+	}
+	seed.HTs = append(seed.HTs, blueprint.HiddenTerminal{Q: rep.Q, Clients: set})
+	if _, err := sh.srv.SeedSessionBlueprint(SessionName(target.ID), n, seed); err != nil {
+		return false, false
+	}
+	return true, false
+}
+
+// applyExchange processes one incoming exchange batch against the
+// local shard.
+func (sh *Shard) applyExchange(req *ExchangeRequest) ExchangeResponse {
+	var resp ExchangeResponse
+	for _, group := range req.Reports {
+		target, ok := sh.directory.Cell(group.Cell)
+		if !ok {
+			resp.Skipped += len(group.HTs)
+			continue
+		}
+		for _, rep := range group.HTs {
+			resp.Received++
+			obsExchangeReceived.Inc()
+			folded, deduped := sh.foldReport(target, rep)
+			switch {
+			case folded:
+				resp.Folded++
+				obsExchangeFold.Inc()
+			case deduped:
+				resp.Deduped++
+				obsBorderDedup.Inc()
+			default:
+				resp.Skipped++
+			}
+		}
+	}
+	return resp
+}

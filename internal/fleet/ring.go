@@ -1,0 +1,123 @@
+// Package fleet is the multi-cell controller tier (DESIGN.md §16): a
+// consistent-hash ring assigns every cell to one blud-style shard, a
+// thin stateless router forwards /v1/{infer,observe,schedule,joint} to
+// the owning shard by cell id, and a periodic blueprint exchange lets
+// shards share inferred hidden terminals for border UEs so the same
+// physical interferer is not solved independently in every cell that
+// hears it. The package is stdlib-only on top of internal/serve.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the virtual-node count per shard. 128 vnodes keep
+// the assignment spread within a few percent of uniform for small
+// fleets while the ring stays tiny (K·128 keys).
+const defaultReplicas = 128
+
+// Ring is a consistent-hash ring over shard names. Cell ownership is
+// derived from it — a shard owns exactly the cells the ring maps to its
+// name — so adding or removing one shard of K moves ~1/K of the cells
+// and restarting a shard under the same name moves none.
+//
+// Ring is immutable after construction; Add and Remove return new
+// rings, so a router can swap assignments atomically.
+type Ring struct {
+	replicas int
+	nodes    []string // sorted, unique
+	keys     []uint64 // sorted vnode hashes
+	owner    map[uint64]string
+}
+
+// NewRing builds a ring with the given vnode count per shard
+// (0 = defaultReplicas) over the given shard names.
+func NewRing(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{replicas: replicas}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			r.nodes = append(r.nodes, n)
+		}
+	}
+	sort.Strings(r.nodes)
+	r.rebuild()
+	return r
+}
+
+func (r *Ring) rebuild() {
+	r.keys = r.keys[:0]
+	r.owner = make(map[uint64]string, len(r.nodes)*r.replicas)
+	for _, n := range r.nodes {
+		for i := 0; i < r.replicas; i++ {
+			h := ringHash(n + "#" + strconv.Itoa(i))
+			// A full 64-bit collision across vnodes is astronomically
+			// unlikely; resolve the tie deterministically by name so both
+			// sides of a rebuild agree.
+			if prev, ok := r.owner[h]; ok && prev <= n {
+				continue
+			}
+			if _, ok := r.owner[h]; !ok {
+				r.keys = append(r.keys, h)
+			}
+			r.owner[h] = n
+		}
+	}
+	sort.Slice(r.keys, func(i, j int) bool { return r.keys[i] < r.keys[j] })
+}
+
+// Nodes returns the shard names on the ring, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Add returns a new ring with node added (no-op copy if present).
+func (r *Ring) Add(node string) *Ring {
+	return NewRing(r.replicas, append(r.Nodes(), node)...)
+}
+
+// Remove returns a new ring with node removed.
+func (r *Ring) Remove(node string) *Ring {
+	var keep []string
+	for _, n := range r.nodes {
+		if n != node {
+			keep = append(keep, n)
+		}
+	}
+	return NewRing(r.replicas, keep...)
+}
+
+// Owner returns the shard owning key (a cell id), or "" on an empty
+// ring: the first vnode clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	if len(r.keys) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	if i == len(r.keys) {
+		i = 0 // wrap
+	}
+	return r.owner[r.keys[i]]
+}
+
+// ringHash is FNV-1a with a 64-bit avalanche finalizer. Raw FNV-1a has
+// no avalanche: keys sharing a prefix ("shard-1#0", "shard-1#1", ...)
+// land in one contiguous band of the key space, which turns the vnodes
+// of each shard into consecutive runs and destroys the spread the ring
+// depends on. The fmix64 finalizer (splitmix64/Murmur3) scatters them.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

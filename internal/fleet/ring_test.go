@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func cellIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cell-%d", i)
+	}
+	return out
+}
+
+func owners(r *Ring, cells []string) map[string]string {
+	m := make(map[string]string, len(cells))
+	for _, c := range cells {
+		m[c] = r.Owner(c)
+	}
+	return m
+}
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := NewRing(0, "shard-0", "shard-1", "shard-2")
+	b := NewRing(0, "shard-2", "shard-0", "shard-1", "shard-1")
+	for _, c := range cellIDs(50) {
+		if a.Owner(c) != b.Owner(c) {
+			t.Fatalf("owner of %s differs across construction orders", c)
+		}
+	}
+	if got := len(b.Nodes()); got != 3 {
+		t.Fatalf("duplicate node kept: %d nodes", got)
+	}
+}
+
+func TestRingSpreadsCells(t *testing.T) {
+	r := NewRing(0, "shard-0", "shard-1", "shard-2")
+	counts := map[string]int{}
+	for _, c := range cellIDs(300) {
+		counts[r.Owner(c)]++
+	}
+	for _, n := range r.Nodes() {
+		if counts[n] < 30 {
+			t.Errorf("shard %s owns only %d/300 cells: assignment badly skewed (%v)", n, counts[n], counts)
+		}
+	}
+}
+
+// TestRingAddMovesOnlyToNewShard is the stability property the fleet
+// leans on: growing K shards to K+1 moves roughly 1/(K+1) of the cells,
+// and every moved cell moves TO the new shard — no cell shuffles
+// between surviving shards.
+func TestRingAddMovesOnlyToNewShard(t *testing.T) {
+	nodes := []string{"shard-0", "shard-1", "shard-2", "shard-3", "shard-4", "shard-5", "shard-6", "shard-7"}
+	cells := cellIDs(400)
+	before := owners(NewRing(0, nodes...), cells)
+	after := owners(NewRing(0, nodes...).Add("shard-8"), cells)
+	moved := 0
+	for _, c := range cells {
+		if before[c] != after[c] {
+			moved++
+			if after[c] != "shard-8" {
+				t.Fatalf("cell %s moved %s → %s, not to the new shard", c, before[c], after[c])
+			}
+		}
+	}
+	// Expectation ≈ 400/9 ≈ 44; allow a wide band but fail on gross
+	// violations of the ~1/K contract (full reshuffle or no movement).
+	if moved == 0 || moved > 120 {
+		t.Fatalf("adding 1 shard of 9 moved %d/400 cells, want ~44", moved)
+	}
+}
+
+// TestRingRemoveMovesOnlyRemovedCells checks the inverse: removing a
+// shard reassigns exactly its cells; every other assignment is
+// untouched (a restart under the same name moves nothing).
+func TestRingRemoveMovesOnlyRemovedCells(t *testing.T) {
+	nodes := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	cells := cellIDs(200)
+	r := NewRing(0, nodes...)
+	before := owners(r, cells)
+	after := owners(r.Remove("shard-2"), cells)
+	for _, c := range cells {
+		if before[c] == "shard-2" {
+			if after[c] == "shard-2" {
+				t.Fatalf("cell %s still owned by removed shard", c)
+			}
+		} else if before[c] != after[c] {
+			t.Fatalf("cell %s moved %s → %s though its owner survived", c, before[c], after[c])
+		}
+	}
+	// Round-trip: re-adding the shard restores the original assignment.
+	restored := owners(r.Remove("shard-2").Add("shard-2"), cells)
+	for _, c := range cells {
+		if restored[c] != before[c] {
+			t.Fatalf("cell %s not restored after remove+add: %s vs %s", c, restored[c], before[c])
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if o := NewRing(0).Owner("cell-0"); o != "" {
+		t.Fatalf("empty ring owner %q", o)
+	}
+}

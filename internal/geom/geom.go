@@ -48,10 +48,27 @@ func UniformPlacement(f Floor, n int, r *rng.Source) []Point {
 	return pts
 }
 
+// clusterResampleTries bounds the rejection loop in ClusteredPlacement:
+// a cluster center deep inside the floor virtually never needs a retry,
+// while a center pinned to a corner accepts roughly a quarter of draws,
+// so 32 tries make falling through astronomically unlikely without
+// risking an unbounded loop on a degenerate (tiny-floor, huge-spread)
+// configuration.
+const clusterResampleTries = 32
+
 // ClusteredPlacement places n nodes in nclusters Gaussian clusters whose
 // centers are uniform on the floor; spread is the cluster standard
-// deviation in meters. Positions are clamped to the floor. This mimics
-// hidden terminals grouped around neighboring WiFi cells.
+// deviation in meters. This mimics hidden terminals grouped around
+// neighboring WiFi cells.
+//
+// Gaussian overshoot past the floor boundary is resampled (bounded
+// retries), not clamped: clamping projects the entire out-of-floor tail
+// onto the walls and corners, piling probability mass exactly where
+// edge-cell interference is scored in multi-cell sweeps. Rejection
+// sampling keeps the in-floor distribution a genuinely truncated
+// Gaussian. The draw stream stays deterministic — every retry consumes
+// from the same source r in a fixed order — and only if all retries
+// overshoot does the final draw fall back to the clamped point.
 func ClusteredPlacement(f Floor, n, nclusters int, spread float64, r *rng.Source) []Point {
 	if nclusters < 1 {
 		nclusters = 1
@@ -60,9 +77,15 @@ func ClusteredPlacement(f Floor, n, nclusters int, spread float64, r *rng.Source
 	pts := make([]Point, n)
 	for i := range pts {
 		c := centers[i%nclusters]
-		p := Point{
-			X: c.X + r.NormFloat64()*spread,
-			Y: c.Y + r.NormFloat64()*spread,
+		var p Point
+		for try := 0; try < clusterResampleTries; try++ {
+			p = Point{
+				X: c.X + r.NormFloat64()*spread,
+				Y: c.Y + r.NormFloat64()*spread,
+			}
+			if f.Contains(p) {
+				break
+			}
 		}
 		p.X = clamp(p.X, 0, f.Width)
 		p.Y = clamp(p.Y, 0, f.Height)

@@ -84,6 +84,57 @@ func TestClusteredPlacement(t *testing.T) {
 	}
 }
 
+// TestClusteredPlacementBoundaryMass is the regression test for the
+// clamp-to-wall bias: with a spread comparable to the floor size, the
+// old clamping projected every Gaussian overshoot onto the walls and
+// corners, so a large fraction of nodes sat exactly on the boundary.
+// Resampling must leave (almost) no probability mass exactly on the
+// walls while still keeping every point inside the floor.
+func TestClusteredPlacementBoundaryMass(t *testing.T) {
+	f := Floor{Width: 10, Height: 10}
+	const n = 4000
+	pts := ClusteredPlacement(f, n, 5, 8, rng.New(7))
+	onWall := 0
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("point %v outside floor", p)
+		}
+		if p.X == 0 || p.X == f.Width || p.Y == 0 || p.Y == f.Height {
+			onWall++
+		}
+	}
+	// With spread≈floor size the clamping version parks >25% of nodes on
+	// the boundary; resampling leaves only the (astronomically rare)
+	// retry-exhaustion fallback there.
+	if frac := float64(onWall) / n; frac > 0.01 {
+		t.Errorf("%.1f%% of nodes sit exactly on the floor boundary; clamp bias is back", 100*frac)
+	}
+	// Interior coverage: the central quarter of the floor must hold real
+	// mass (truncation, unlike clamping, renormalizes into the interior).
+	center := 0
+	for _, p := range pts {
+		if p.X > 2.5 && p.X < 7.5 && p.Y > 2.5 && p.Y < 7.5 {
+			center++
+		}
+	}
+	if center < n/10 {
+		t.Errorf("only %d/%d nodes in the central quarter", center, n)
+	}
+}
+
+// TestClusteredPlacementDeterministic pins the resampling loop to the
+// rng stream: identical seeds must yield identical placements.
+func TestClusteredPlacementDeterministic(t *testing.T) {
+	f := Floor{Width: 12, Height: 9}
+	a := ClusteredPlacement(f, 100, 4, 6, rng.New(11))
+	b := ClusteredPlacement(f, 100, 4, 6, rng.New(11))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestClusteredPlacementDegenerateClusterCount(t *testing.T) {
 	f := Floor{Width: 10, Height: 10}
 	pts := ClusteredPlacement(f, 5, 0, 1, rng.New(3))

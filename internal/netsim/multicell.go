@@ -1,0 +1,169 @@
+// Multi-cell simulation: one MultiScenario floor, one sim.Cell per
+// cell over the shared station set. Every cell's simulation is seeded
+// with the same station-activity stream, so the physical WiFi activity
+// is identical from every cell's point of view — the per-cell access
+// masks differ only through each cell's geometry (which stations are
+// hidden from its eNB, which UEs they block). This is the workload the
+// shard fleet (internal/fleet) serves: per-cell controllers inferring
+// overlapping blueprints from one shared radio environment.
+package netsim
+
+import (
+	"context"
+	"fmt"
+
+	"blu/internal/blueprint"
+	"blu/internal/parallel"
+	"blu/internal/rng"
+	"blu/internal/sim"
+	"blu/internal/topology"
+	"blu/internal/wifi"
+)
+
+// MultiCellConfig parameterizes a multi-cell run.
+type MultiCellConfig struct {
+	// Topology shapes the deployment (zero = MultiConfig defaults).
+	Topology topology.MultiConfig
+	// Subframes is the per-cell simulation horizon (default 2000).
+	Subframes int
+	// Seed drives all randomness. The station-activity stream is shared
+	// across cells; per-cell draws are split per cell.
+	Seed uint64
+	// InferOptions tunes inference (zero = defaults).
+	InferOptions blueprint.InferOptions
+	// Workers bounds parallelism across cells (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c MultiCellConfig) withDefaults() MultiCellConfig {
+	if c.Subframes <= 0 {
+		c.Subframes = 2000
+	}
+	return c
+}
+
+// CellResult scores one cell's inference against its ground truth.
+type CellResult struct {
+	// Cell indexes into MultiScenario.Cells; ID is its routing key.
+	Cell int
+	ID   string
+	// NumUE counts the cell's client set (members incl. border UEs).
+	NumUE int
+	// NumHiddenTerminals is the cell's ground-truth HT count.
+	NumHiddenTerminals int
+	// Measurements are the empirical access distributions captured in
+	// this cell — the observe payload a per-cell controller would be
+	// fed.
+	Measurements *blueprint.Measurements
+	// Inferred is the blueprint inferred from Measurements.
+	Inferred *blueprint.Topology
+	// Accuracy and QError score Inferred against the cell ground truth.
+	Accuracy float64
+	QError   float64
+	// Converged reports whether inference satisfied all constraints.
+	Converged bool
+}
+
+// MultiCellResult is a full multi-cell run.
+type MultiCellResult struct {
+	// Scenario is the generated deployment.
+	Scenario *topology.MultiScenario
+	// Cells holds one result per cell, in cell order.
+	Cells []CellResult
+	// BorderUEs are the global ids audible in two or more cells.
+	BorderUEs []int
+	// SharedGroundTruthPairs counts (cell pair, UE) combinations where
+	// the same global UE is blocked by hidden terminals in both cells —
+	// the duplicated inference work a blueprint exchange collapses.
+	SharedGroundTruthPairs int
+}
+
+// RunMultiCell generates a multi-cell deployment and simulates,
+// measures, and infers every cell, in parallel up to cfg.Workers.
+func RunMultiCell(cfg MultiCellConfig) (*MultiCellResult, error) {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed)
+	ms, err := topology.NewMultiScenario(cfg.Topology, root.Split("multicell"))
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+
+	// One traffic config per shared station, drawn once: every cell's
+	// simulation sees the same transmitters with the same duty cycles.
+	rt := root.Split("traffic")
+	stations := make([]wifi.Station, len(ms.Stations))
+	for k := range stations {
+		stations[k].Traffic = wifi.DutyCycle{Target: 0.15 + 0.5*rt.Float64()}
+		stations[k].Rate = wifi.RateForSNR(10 + 20*rt.Float64())
+	}
+	// All cells share one activity seed: sim.New derives station
+	// timelines from Split("st<k>") under this seed, so station k
+	// transmits identically in every cell's simulation.
+	actSeed := root.Split("activity").Uint64()
+
+	cells, err := parallel.Map(context.Background(), cfg.Workers, len(ms.Cells), func(c int) (CellResult, error) {
+		cell, err := sim.New(sim.Config{
+			Scenario:  ms.Cells[c].Scenario,
+			Stations:  stations,
+			Subframes: cfg.Subframes,
+			Seed:      actSeed,
+		})
+		if err != nil {
+			return CellResult{}, fmt.Errorf("netsim: cell %d: %w", c, err)
+		}
+		meas := MeasureFromMasks(cell)
+		inf, err := blueprint.Infer(meas, cfg.InferOptions)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("netsim: cell %d: %w", c, err)
+		}
+		truth := cell.GroundTruth()
+		qerr, _ := blueprint.QError(truth, inf.Topology)
+		return CellResult{
+			Cell:               c,
+			ID:                 ms.Cells[c].ID,
+			NumUE:              len(ms.Cells[c].Members),
+			NumHiddenTerminals: len(truth.HTs),
+			Measurements:       meas,
+			Inferred:           inf.Topology,
+			Accuracy:           blueprint.Accuracy(truth, inf.Topology),
+			QError:             qerr,
+			Converged:          inf.Converged,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiCellResult{
+		Scenario:  ms,
+		Cells:     cells,
+		BorderUEs: ms.BorderUEs(),
+	}
+	res.SharedGroundTruthPairs = sharedGroundTruthPairs(ms)
+	return res, nil
+}
+
+// sharedGroundTruthPairs counts, over all cell pairs, the global UEs
+// blocked by ground-truth hidden terminals in both cells.
+func sharedGroundTruthPairs(ms *topology.MultiScenario) int {
+	blocked := make([]map[int]bool, len(ms.Cells))
+	for c := range ms.Cells {
+		blocked[c] = map[int]bool{}
+		for _, ht := range ms.CellGroundTruth(c, nil).HTs {
+			ht.Clients.ForEach(func(i int) {
+				blocked[c][ms.Cells[c].Members[i]] = true
+			})
+		}
+	}
+	n := 0
+	for a := 0; a < len(ms.Cells); a++ {
+		for b := a + 1; b < len(ms.Cells); b++ {
+			for g := range blocked[a] {
+				if blocked[b][g] {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

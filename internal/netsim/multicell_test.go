@@ -1,0 +1,95 @@
+package netsim
+
+import "testing"
+
+// TestRunMultiCellDefaults runs the default 3-cell deployment end to
+// end: every cell must simulate, measure, and infer, border UEs must
+// exist, and at least one global UE must be blocked by ground-truth
+// hidden terminals in two cells (the cross-cell duplication the fleet's
+// exchange layer exists to collapse).
+func TestRunMultiCellDefaults(t *testing.T) {
+	res, err := RunMultiCell(MultiCellConfig{Subframes: 1200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("got %d cells", len(res.Cells))
+	}
+	for _, cr := range res.Cells {
+		if cr.ID == "" || cr.Measurements == nil || cr.Inferred == nil {
+			t.Fatalf("cell %d incomplete: %+v", cr.Cell, cr)
+		}
+		if cr.NumUE != len(res.Scenario.Cells[cr.Cell].Members) {
+			t.Errorf("cell %d NumUE %d vs members %d", cr.Cell, cr.NumUE, len(res.Scenario.Cells[cr.Cell].Members))
+		}
+		if cr.Accuracy < 0 || cr.Accuracy > 1 {
+			t.Errorf("cell %d accuracy %v", cr.Cell, cr.Accuracy)
+		}
+	}
+	if len(res.BorderUEs) == 0 {
+		t.Error("no border UEs in the default deployment")
+	}
+	if res.SharedGroundTruthPairs == 0 {
+		t.Error("no UE is blocked in two cells' ground truths")
+	}
+}
+
+// TestRunMultiCellDeterministic pins the whole pipeline to the seed:
+// same config, same per-cell measurements and scores.
+func TestRunMultiCellDeterministic(t *testing.T) {
+	a, err := RunMultiCell(MultiCellConfig{Subframes: 600, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiCell(MultiCellConfig{Subframes: 600, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Cells {
+		am, bm := a.Cells[c].Measurements, b.Cells[c].Measurements
+		if am.N != bm.N {
+			t.Fatalf("cell %d: N %d vs %d", c, am.N, bm.N)
+		}
+		for i := 0; i < am.N; i++ {
+			if am.P[i] != bm.P[i] {
+				t.Fatalf("cell %d: p(%d) diverges across runs", c, i)
+			}
+		}
+		if a.Cells[c].Accuracy != b.Cells[c].Accuracy {
+			t.Fatalf("cell %d accuracy diverges", c)
+		}
+	}
+}
+
+// TestRunMultiCellSharedActivity checks the physical-consistency
+// invariant: a border UE's marginal access probability measured from
+// two different cells' simulations must (nearly) agree, because the
+// station activity silencing it is one shared timeline.
+func TestRunMultiCellSharedActivity(t *testing.T) {
+	res, err := RunMultiCell(MultiCellConfig{Subframes: 1500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, g := range res.BorderUEs {
+		cells := res.Scenario.AudibleIn[g]
+		if len(cells) < 2 {
+			continue
+		}
+		a, b := cells[0], cells[1]
+		ia := res.Scenario.Cells[a].LocalIndex(g)
+		ib := res.Scenario.Cells[b].LocalIndex(g)
+		if ia < 0 || ib < 0 {
+			t.Fatalf("border UE %d missing from a member cell", g)
+		}
+		pa := res.Cells[a].Measurements.P[ia]
+		pb := res.Cells[b].Measurements.P[ib]
+		if diff := pa - pb; diff > 0.1 || diff < -0.1 {
+			t.Errorf("border UE %d: p=%v in cell %d vs p=%v in cell %d", g, pa, a, pb, b)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no border UEs to check")
+	}
+}

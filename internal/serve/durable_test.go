@@ -49,22 +49,12 @@ func drainServer(t *testing.T, s *Server, ts *httptest.Server) {
 	}
 }
 
-// crashServer is the in-process kill -9: the snapshot loop stops, the
-// store drops its unsynced window and closes without a final snapshot,
-// and the pool is torn down. Nothing graceful happens — recovery gets
-// whatever was durable at the moment of death.
+// crashServer is the in-process kill -9: the httptest listener dies
+// abruptly and Abort tears the server down without a final snapshot or
+// WAL sync — recovery gets whatever was durable at the moment of death.
 func crashServer(s *Server, ts *httptest.Server) {
 	ts.Close()
-	close(s.snapStop)
-	<-s.snapDone
-	s.store.Abort()
-	s.drainMu.Lock()
-	s.draining = true
-	s.closing = true
-	s.drainMu.Unlock()
-	s.jobs.Wait()
-	close(s.queue)
-	<-s.poolDone
+	s.Abort()
 }
 
 // probeDigest reads a session's current canonical digest without

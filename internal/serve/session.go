@@ -13,6 +13,10 @@ import (
 var (
 	obsSessions     = obs.GetGauge("serve_sessions")
 	obsSessionEvict = obs.GetCounter("serve_session_evict_total")
+	// obsSessionRestoreDropped counts snapshot sessions refused by
+	// install (full registry or duplicate id) during restore — without
+	// it a restore that silently loses sessions leaves no metric trace.
+	obsSessionRestoreDropped = obs.GetCounter("serve_session_restore_dropped_total")
 )
 
 // session is the server-side state of one streaming topology: the
@@ -48,6 +52,14 @@ type sessionStore struct {
 }
 
 func newSessionStore(max, windowEpochs int) *sessionStore {
+	// A registry that cannot hold a single session is never what a
+	// caller means: with max<1 getOrCreate would evict the session it
+	// just created and hand the caller a dead *session whose minted keys
+	// get dropped while the observe folds into it. Guard the bound here
+	// so every code path below can assume max >= 1.
+	if max < 1 {
+		max = 1
+	}
 	return &sessionStore{
 		max:   max,
 		win:   windowEpochs,
@@ -93,9 +105,16 @@ func (st *sessionStore) getOrCreate(id string, n int) (s, evicted *session, err 
 	// no-evidence measurements), so the first observe can detect its own
 	// change and infer-by-session works even before any fold.
 	s.digest = digestMeasurements(s.win.Measurements())
-	st.items[id] = st.ll.PushFront(s)
+	el := st.ll.PushFront(s)
+	st.items[id] = el
 	for st.ll.Len() > st.max {
 		back := st.ll.Back()
+		// Never evict the element just pushed: even with a mis-set bound
+		// the session returned to the caller must stay live, or its
+		// minted keys would be dropped while the observe folds into it.
+		if back == el {
+			break
+		}
 		st.ll.Remove(back)
 		evicted = back.Value.(*session)
 		delete(st.items, evicted.id)
@@ -127,12 +146,16 @@ func (st *sessionStore) export() []*session {
 // install appends a restored session at the LRU tail: called in export
 // order (most recent first), it reproduces the saved recency. A full
 // registry or a duplicate id refuses the install (false) — restore
-// counts the record dropped rather than evicting sessions it just
-// restored.
+// counts the record dropped (serve_session_restore_dropped_total)
+// rather than evicting sessions it just restored, and the sessions
+// gauge is refreshed either way so the metric trace matches the
+// registry even when records are lost.
 func (st *sessionStore) install(s *session) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, ok := st.items[s.id]; ok || st.ll.Len() >= st.max {
+		obsSessionRestoreDropped.Inc()
+		obsSessions.Set(float64(st.ll.Len()))
 		return false
 	}
 	st.items[s.id] = st.ll.PushBack(s)

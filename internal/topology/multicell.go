@@ -1,0 +1,360 @@
+// Multi-cell ground truth: several eNBs sharing one floor, per-cell
+// client sets, and border UEs audible in two or more cells — the dense
+// unlicensed deployment regime the sharded controller fleet
+// (internal/fleet, DESIGN.md §16) serves. Each cell gets its own
+// Scenario (local UE indexing, the same radio model) plus the local →
+// global UE id map the blueprint-exchange layer needs to recognize a
+// hidden terminal inferred by a neighboring cell.
+//
+// Geometry: eNBs sit on a grid with CellSpacing pitch. With the default
+// radio parameters a station is audible within ≈31.6 m (15 dBm Tx,
+// −70 dBm energy detection, 40 + 30·log10(d) indoor loss), so at the
+// default 80 m pitch a station near a cell boundary is hidden from both
+// adjacent eNBs while still silencing the border UEs placed there: the
+// same physical hidden terminal appears in both cells' ground truths,
+// which is exactly the duplication the fleet's exchange layer is meant
+// to collapse.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"blu/internal/blueprint"
+	"blu/internal/geom"
+	"blu/internal/phy"
+	"blu/internal/rng"
+)
+
+// MultiConfig parameterizes a multi-cell deployment. The zero value
+// selects a 3-cell row with defaults sized so border UEs and shared
+// hidden terminals exist deterministically.
+type MultiConfig struct {
+	// Cells is the number of eNBs (default 3). They are arranged on a
+	// ⌈√Cells⌉-column grid over a shared floor.
+	Cells int
+	// UEsPerCell is the number of interior UEs placed around each eNB
+	// (default 6).
+	UEsPerCell int
+	// BorderPerEdge is the number of extra UEs pinned near each adjacent
+	// cell boundary midpoint (default 1). These are the border UEs: they
+	// are audible in both cells sharing the edge.
+	BorderPerEdge int
+	// StationsPerCell is the number of WiFi stations scattered over each
+	// cell's tile (default 4).
+	StationsPerCell int
+	// BorderStationsPerEdge is the number of stations pinned near each
+	// adjacent cell boundary (default 1) — at the default spacing these
+	// are hidden from both eNBs and block the border UEs, forming the
+	// cross-cell hidden terminals the exchange layer deduplicates.
+	BorderStationsPerEdge int
+	// CellSpacing is the eNB grid pitch in meters (default 80 — wide
+	// enough that a boundary station is hidden from both eNBs).
+	CellSpacing float64
+	// AudibleRange is the cell-attachment radius: a UE belongs to the
+	// client set of every cell whose eNB is within this range, and
+	// always to its nearest cell (default 0.6·CellSpacing).
+	AudibleRange float64
+
+	// TxPowerDBm, UESenseDBm, and ENBSenseDBm default like Config.
+	TxPowerDBm  float64
+	UESenseDBm  float64
+	ENBSenseDBm float64
+}
+
+func (c MultiConfig) withDefaults() MultiConfig {
+	if c.Cells == 0 {
+		c.Cells = 3
+	}
+	if c.UEsPerCell == 0 {
+		c.UEsPerCell = 6
+	}
+	if c.BorderPerEdge == 0 {
+		c.BorderPerEdge = 1
+	}
+	if c.StationsPerCell == 0 {
+		c.StationsPerCell = 4
+	}
+	if c.BorderStationsPerEdge == 0 {
+		c.BorderStationsPerEdge = 1
+	}
+	if c.CellSpacing == 0 {
+		c.CellSpacing = 80
+	}
+	if c.AudibleRange == 0 {
+		c.AudibleRange = 0.6 * c.CellSpacing
+	}
+	if c.TxPowerDBm == 0 {
+		c.TxPowerDBm = phy.DefaultTxPowerDBm
+	}
+	if c.UESenseDBm == 0 {
+		c.UESenseDBm = phy.EnergyDetectThresholdDBm
+	}
+	if c.ENBSenseDBm == 0 {
+		c.ENBSenseDBm = phy.EnergyDetectThresholdDBm
+	}
+	return c
+}
+
+// CellView is one cell of a MultiScenario: its identity, its local
+// Scenario (UEs indexed 0..len(Members)-1), and the local → global UE
+// id map. Members is sorted by global id, so local indexing is
+// canonical: two processes building the same MultiScenario agree on
+// every local index.
+type CellView struct {
+	// ID is the cell identity ("cell-0", "cell-1", ...) — the routing
+	// key the fleet's consistent-hash router hashes.
+	ID string
+	// ENB is the cell's base-station position.
+	ENB geom.Point
+	// Members maps local UE index → global UE id: every UE audible in
+	// this cell (its own plus border UEs from adjacent cells).
+	Members []int
+	// Scenario is the per-cell deployment over the local UE indexing.
+	// Stations are shared floor-wide; HiddenTerminalEdges/GroundTruth
+	// evaluate hidden-ness against this cell's eNB.
+	Scenario *Scenario
+}
+
+// LocalIndex returns the cell-local index of global UE id g, or -1.
+func (c *CellView) LocalIndex(g int) int {
+	i := sort.SearchInts(c.Members, g)
+	if i < len(c.Members) && c.Members[i] == g {
+		return i
+	}
+	return -1
+}
+
+// MultiScenario is a multi-cell deployment over one shared floor.
+type MultiScenario struct {
+	Floor    geom.Floor
+	ENBs     []geom.Point
+	UEs      []geom.Point // global UE positions
+	Stations []geom.Point // shared floor-wide stations
+	Cells    []CellView
+
+	// Owner[g] is the owning (nearest) cell of global UE g.
+	Owner []int
+	// AudibleIn[g] lists every cell whose client set contains UE g,
+	// ascending. len >= 2 marks a border UE.
+	AudibleIn [][]int
+}
+
+// CellID renders the canonical id of cell i.
+func CellID(i int) string { return fmt.Sprintf("cell-%d", i) }
+
+// NewMultiScenario builds a multi-cell deployment: eNBs on a grid,
+// interior UEs uniform around each eNB, border UEs and border stations
+// pinned (with jitter) to adjacent-cell boundary midpoints, and
+// stations scattered per tile. All randomness comes from r; the
+// per-cell scenarios use pure path loss (no shadowing) so the same
+// physical link is scored identically from both sides of a border.
+func NewMultiScenario(cfg MultiConfig, r *rng.Source) (*MultiScenario, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("topology: Cells %d out of range", cfg.Cells)
+	}
+	if cfg.UEsPerCell < 1 {
+		return nil, fmt.Errorf("topology: UEsPerCell %d out of range", cfg.UEsPerCell)
+	}
+	if cfg.BorderPerEdge < 0 || cfg.StationsPerCell < 0 || cfg.BorderStationsPerEdge < 0 {
+		return nil, fmt.Errorf("topology: negative multi-cell counts")
+	}
+
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.Cells))))
+	rows := (cfg.Cells + cols - 1) / cols
+	s := cfg.CellSpacing
+	ms := &MultiScenario{
+		Floor: geom.Floor{Width: float64(cols) * s, Height: float64(rows) * s},
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		ms.ENBs = append(ms.ENBs, geom.Point{
+			X: (float64(i%cols) + 0.5) * s,
+			Y: (float64(i/cols) + 0.5) * s,
+		})
+	}
+
+	// Interior UEs: uniform in a 0.7·spacing square centered on the eNB,
+	// comfortably inside the tile so they attach to exactly one cell.
+	ru := r.Split("multicell-ues")
+	for c := 0; c < cfg.Cells; c++ {
+		for k := 0; k < cfg.UEsPerCell; k++ {
+			ms.UEs = append(ms.UEs, ms.ENBs[c].Add(
+				(ru.Float64()-0.5)*0.7*s,
+				(ru.Float64()-0.5)*0.7*s,
+			))
+		}
+	}
+	// Border UEs and stations: pinned near every adjacent-pair boundary
+	// midpoint, jittered so repeated placements don't coincide.
+	edges := gridEdges(cfg.Cells, cols)
+	rb := r.Split("multicell-borders")
+	for _, e := range edges {
+		mid := midpoint(ms.ENBs[e[0]], ms.ENBs[e[1]])
+		for k := 0; k < cfg.BorderPerEdge; k++ {
+			ms.UEs = append(ms.UEs, clampToFloor(mid.Add(
+				(rb.Float64()-0.5)*0.08*s,
+				(rb.Float64()-0.5)*0.08*s,
+			), ms.Floor))
+		}
+	}
+	rs := r.Split("multicell-stations")
+	for c := 0; c < cfg.Cells; c++ {
+		tile := geom.Point{X: float64(c%cols) * s, Y: float64(c/cols) * s}
+		for k := 0; k < cfg.StationsPerCell; k++ {
+			ms.Stations = append(ms.Stations, tile.Add(rs.Float64()*s, rs.Float64()*s))
+		}
+	}
+	for _, e := range edges {
+		mid := midpoint(ms.ENBs[e[0]], ms.ENBs[e[1]])
+		for k := 0; k < cfg.BorderStationsPerEdge; k++ {
+			ms.Stations = append(ms.Stations, clampToFloor(mid.Add(
+				(rs.Float64()-0.5)*0.08*s,
+				(rs.Float64()-0.5)*0.08*s,
+			), ms.Floor))
+		}
+	}
+
+	// Attachment: every UE joins its nearest cell plus every cell within
+	// AudibleRange. Border UEs (two or more cells) are the exchange
+	// layer's subject.
+	ms.Owner = make([]int, len(ms.UEs))
+	ms.AudibleIn = make([][]int, len(ms.UEs))
+	members := make([][]int, cfg.Cells)
+	for g, p := range ms.UEs {
+		best, bestD := 0, math.Inf(1)
+		for c := range ms.ENBs {
+			if d := p.Dist(ms.ENBs[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		ms.Owner[g] = best
+		for c := range ms.ENBs {
+			if c == best || p.Dist(ms.ENBs[c]) <= cfg.AudibleRange {
+				ms.AudibleIn[g] = append(ms.AudibleIn[g], c)
+				members[c] = append(members[c], g)
+			}
+		}
+	}
+
+	rcell := r.Split("multicell-scenarios")
+	for c := 0; c < cfg.Cells; c++ {
+		if len(members[c]) > blueprint.MaxClients {
+			return nil, fmt.Errorf("topology: cell %d has %d clients, cap %d",
+				c, len(members[c]), blueprint.MaxClients)
+		}
+		sort.Ints(members[c]) // canonical local indexing
+		ues := make([]geom.Point, len(members[c]))
+		for i, g := range members[c] {
+			ues[i] = ms.UEs[g]
+		}
+		ms.Cells = append(ms.Cells, CellView{
+			ID:      CellID(c),
+			ENB:     ms.ENBs[c],
+			Members: members[c],
+			Scenario: Manual(ms.ENBs[c], ues, ms.Stations,
+				cfg.TxPowerDBm, cfg.UESenseDBm, cfg.ENBSenseDBm,
+				rcell.SplitIndex("cell", c)),
+		})
+	}
+	return ms, nil
+}
+
+// BorderUEs returns the global ids of every UE audible in two or more
+// cells, ascending.
+func (ms *MultiScenario) BorderUEs() []int {
+	var out []int
+	for g := range ms.UEs {
+		if len(ms.AudibleIn[g]) >= 2 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// CellGroundTruth returns cell c's ground-truth blueprint over its
+// local UE indexing (see Scenario.GroundTruth). airtime follows the
+// shared station indexing; nil uses q = 0.5 everywhere.
+func (ms *MultiScenario) CellGroundTruth(c int, airtime []float64) *blueprint.Topology {
+	return ms.Cells[c].Scenario.GroundTruth(airtime)
+}
+
+// GlobalHT is one hidden terminal expressed over global UE ids — the
+// unit the exchange protocol ships and the fleet map merges.
+type GlobalHT struct {
+	Q       float64
+	Clients []int // global UE ids, ascending
+}
+
+// GlobalGroundTruth merges every cell's ground truth into one global
+// interference map: per-cell HTs are mapped through the local → global
+// id maps and HTs with identical global client sets collapse to one
+// entry (the duplication a multi-cell controller fleet must not solve
+// twice). Returns the merged HTs sorted by client set.
+func (ms *MultiScenario) GlobalGroundTruth(airtime []float64) []GlobalHT {
+	type entry struct {
+		q     float64
+		cells int
+	}
+	merged := map[string]*entry{}
+	sets := map[string][]int{}
+	for c := range ms.Cells {
+		truth := ms.CellGroundTruth(c, airtime)
+		for _, ht := range truth.HTs {
+			globals := make([]int, 0, ht.Clients.Count())
+			ht.Clients.ForEach(func(i int) {
+				globals = append(globals, ms.Cells[c].Members[i])
+			})
+			key := fmt.Sprint(globals)
+			if e, ok := merged[key]; ok {
+				e.cells++
+				continue
+			}
+			merged[key] = &entry{q: ht.Q, cells: 1}
+			sets[key] = globals
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]GlobalHT, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, GlobalHT{Q: merged[k].q, Clients: sets[k]})
+	}
+	return out
+}
+
+// gridEdges enumerates adjacent cell pairs on the placement grid.
+func gridEdges(cells, cols int) [][2]int {
+	var edges [][2]int
+	for c := 0; c < cells; c++ {
+		if (c+1)%cols != 0 && c+1 < cells {
+			edges = append(edges, [2]int{c, c + 1})
+		}
+		if c+cols < cells {
+			edges = append(edges, [2]int{c, c + cols})
+		}
+	}
+	return edges
+}
+
+func midpoint(a, b geom.Point) geom.Point {
+	return geom.Point{X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2}
+}
+
+func clampToFloor(p geom.Point, f geom.Floor) geom.Point {
+	if p.X < 0 {
+		p.X = 0
+	} else if p.X > f.Width {
+		p.X = f.Width
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	} else if p.Y > f.Height {
+		p.Y = f.Height
+	}
+	return p
+}
