@@ -209,6 +209,45 @@ go run ./cmd/blumanifest \
   -require persist_recovered_total,persist_snapshots_total \
   "$obsdir/blud2_manifest.json"
 
+echo "== state migration smoke =="
+# Cross-version state round-trip on the directory the restart smoke
+# left behind: blustate downgrades every artifact to the v1 on-disk
+# format, and a relaunched (v2) daemon must open the v1 directory in
+# place — logging a nonzero migrated count, carrying nonzero
+# persist_migrated_total into its drain manifest, and answering the
+# same session infer as a byte-identical cache hit, proving the
+# v2 → v1 → v2 rewrite chain loses nothing.
+go build -race -o "$obsdir/blustate" ./cmd/blustate
+"$obsdir/blustate" "$statedir" | grep -q 'snapshot v2' || {
+  echo "ci: restart smoke state dir is not v2" >&2
+  "$obsdir/blustate" "$statedir" >&2; exit 1; }
+"$obsdir/blustate" -to v1 "$statedir" >/dev/null
+"$obsdir/blustate" "$statedir" | grep -q 'snapshot v1' || {
+  echo "ci: blustate -to v1 left a non-v1 snapshot" >&2
+  "$obsdir/blustate" "$statedir" >&2; exit 1; }
+"$obsdir/blud" -addr 127.0.0.1:0 -state "$statedir" \
+  -snapshot-interval 1s -wal-sync 5ms -manifest "$obsdir/blud4_manifest.json" \
+  >"$obsdir/blud4.out" 2>"$obsdir/blud4.err" &
+blud_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^blud: listening on //p' "$obsdir/blud4.out")"
+  [ -n "$addr" ] && break
+  sleep 0.2
+done
+[ -n "$addr" ] || { echo "ci: migrated blud never reported its address" >&2; cat "$obsdir/blud4.err" >&2; exit 1; }
+grep -Eq ' [1-9][0-9]* v1 artifacts migrated' "$obsdir/blud4.err" || {
+  echo "ci: migrated blud did not log a nonzero v1 artifact count" >&2
+  cat "$obsdir/blud4.err" >&2; exit 1; }
+"$obsdir/bluprobe" -addr "$addr" -path /v1/infer -body "$obsdir/probe.json" \
+  -require-cache hit -require-body-file "$obsdir/prekill.bin"
+kill -TERM "$blud_pid"
+wait "$blud_pid"
+blud_pid=""
+go run ./cmd/blumanifest \
+  -require persist_migrated_total,persist_recovered_total \
+  "$obsdir/blud4_manifest.json"
+
 echo "== fleet smoke =="
 # The multi-cell shard fleet end to end, race-instrumented and truly
 # multi-process: three blufleet shards on fixed loopback ports (peer
@@ -316,6 +355,139 @@ grep -q '^blufleet: shard shard-2 recovered' "$obsdir/fleet_shard-2.err" || {
   -require-body-file "$obsdir/fleet_cell2_pre.bin" >/dev/null
 "$obsdir/bluprobe" -addr "$faddr" -path "/v1/infer?cell=cell-0" -body "$obsdir/fleet_probe.json" \
   -require-cache hit -require-body-file "$obsdir/fleet_prekill.bin"
+kill -TERM $fleet_pids
+for pid in $fleet_pids; do
+  wait "$pid" 2>/dev/null || true
+done
+fleet_pids=""
+
+echo "== reshard smoke =="
+# Dynamic resharding end to end, race-instrumented and multi-process
+# (DESIGN.md §17): a 3-shard fleet over 8 cells takes continuous
+# bluload traffic while a 4th shard process joins via the admin
+# endpoint. With (-cells 8, -seed 42) the ring moves exactly
+# {cell-2, cell-5, cell-7} to shard-3 — 3 of 8 cells, the minimal-
+# motion bound — and the run must prove (a) bluload rides the 307
+# reshard fences to a zero-failure exit, (b) the router's aggregated
+# /metrics reports fleet_reshard_moved_cells == 3 and nonzero handoff
+# traffic, (c) a moved cell's session answers byte-identically as a
+# cache hit from its new shard, and (d) an unmoved cell co-resident
+# with moved ones on the losing shard keeps its byte-identical cached
+# hit — the handoff must not disturb state that did not move.
+reshardstate="$obsdir/reshardstate"
+rs0=127.0.0.1:18470; rs1=127.0.0.1:18471; rs2=127.0.0.1:18472; rs3=127.0.0.1:18473
+load_pid=""
+trap 'kill $fleet_pids $blud_pid $load_pid 2>/dev/null || true; rm -rf "$obsdir"' EXIT
+start_reshard_shard() { # name addr shards peers... ; echoes the pid
+  _name="$1"; _addr="$2"; _shards="$3"; shift 3
+  "$obsdir/blufleet" -mode shard -name "$_name" -cells 8 -seed 42 -shards "$_shards" \
+    -addr "$_addr" -state "$reshardstate/$_name" -exchange 300ms \
+    -snapshot-interval 1s -wal-sync 5ms "$@" \
+    >"$obsdir/reshard_$_name.out" 2>"$obsdir/reshard_$_name.err" &
+  echo $!
+}
+r0_pid="$(start_reshard_shard shard-0 "$rs0" 3 -peer shard-1="http://$rs1" -peer shard-2="http://$rs2")"
+r1_pid="$(start_reshard_shard shard-1 "$rs1" 3 -peer shard-0="http://$rs0" -peer shard-2="http://$rs2")"
+r2_pid="$(start_reshard_shard shard-2 "$rs2" 3 -peer shard-0="http://$rs0" -peer shard-1="http://$rs1")"
+fleet_pids="$r0_pid $r1_pid $r2_pid"
+"$obsdir/blufleet" -mode router -cells 8 -seed 42 -addr 127.0.0.1:0 \
+  -shard shard-0="http://$rs0" -shard shard-1="http://$rs1" -shard shard-2="http://$rs2" \
+  >"$obsdir/reshard_router.out" 2>"$obsdir/reshard_router.err" &
+rrouter_pid=$!
+fleet_pids="$fleet_pids $rrouter_pid"
+raddr=""
+for _ in $(seq 1 50); do
+  raddr="$(sed -n 's/^blufleet: router listening on //p' "$obsdir/reshard_router.out")"
+  if [ -n "$raddr" ] && \
+     grep -q 'listening on' "$obsdir/reshard_shard-0.out" 2>/dev/null && \
+     grep -q 'listening on' "$obsdir/reshard_shard-1.out" 2>/dev/null && \
+     grep -q 'listening on' "$obsdir/reshard_shard-2.out" 2>/dev/null; then
+    break
+  fi
+  raddr=""
+  sleep 0.2
+done
+if [ -z "$raddr" ]; then
+  echo "ci: reshard fleet never came up" >&2
+  cat "$obsdir"/reshard_*.err >&2
+  exit 1
+fi
+# Warm two probe sessions to cache hits through the router: cell-2
+# will move to shard-3, cell-3 stays on shard-2 (which loses cell-2
+# and cell-5). The bodies differ in client count — identical
+# measurements would mint the same digest-keyed cache entry on the
+# shared shard-2 cache, and releasing the moved session would then
+# (correctly) drop the unmoved session's entry too, turning the hit
+# assertion into a false alarm.
+printf '{"session":"probe:cell-2","n":4,"observations":[{"scheduled":[0,1,2,3],"accessed":[0,1,3]}],"seal":true}' \
+  >"$obsdir/reshard_obs2.json"
+printf '{"session":"probe:cell-3","n":5,"observations":[{"scheduled":[0,1,2,3,4],"accessed":[0,2,4]}],"seal":true}' \
+  >"$obsdir/reshard_obs3.json"
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/observe?cell=cell-2" -body "$obsdir/reshard_obs2.json" >/dev/null
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/observe?cell=cell-3" -body "$obsdir/reshard_obs3.json" >/dev/null
+printf '{"session":"probe:cell-2","options":{"seed":77}}' >"$obsdir/reshard_probe2.json"
+printf '{"session":"probe:cell-3","options":{"seed":78}}' >"$obsdir/reshard_probe3.json"
+for _ in 1 2 3 4; do
+  "$obsdir/bluprobe" -addr "$raddr" -path "/v1/infer?cell=cell-2" -body "$obsdir/reshard_probe2.json" >/dev/null
+  "$obsdir/bluprobe" -addr "$raddr" -path "/v1/infer?cell=cell-3" -body "$obsdir/reshard_probe3.json" >/dev/null
+done
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/infer?cell=cell-2" -body "$obsdir/reshard_probe2.json" \
+  -require-cache hit -save-body "$obsdir/reshard_pre2.bin" >/dev/null
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/infer?cell=cell-3" -body "$obsdir/reshard_probe3.json" \
+  -require-cache hit -save-body "$obsdir/reshard_pre3.bin" >/dev/null
+# Pin the moved session's digest: an empty observe batch folds nothing
+# and echoes the canonical digest, so its bytes must survive the move.
+printf '{"session":"probe:cell-2","n":4}' >"$obsdir/reshard_dig2.json"
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/observe?cell=cell-2" -body "$obsdir/reshard_dig2.json" \
+  -save-body "$obsdir/reshard_dig2_pre.bin" >/dev/null
+# Continuous background load across the reshard; it must exit clean —
+# 307 fence responses are retried, not failures.
+"$obsdir/bluload" -addr "$raddr" -cells 8 -seed 42 -c 4 -duration 8s -mix observe \
+  >"$obsdir/reshard_load.out" 2>"$obsdir/reshard_load.err" &
+load_pid=$!
+sleep 1
+r3_pid="$(start_reshard_shard shard-3 "$rs3" 4 \
+  -peer shard-0="http://$rs0" -peer shard-1="http://$rs1" -peer shard-2="http://$rs2")"
+fleet_pids="$fleet_pids $r3_pid"
+for _ in $(seq 1 50); do
+  grep -q 'listening on' "$obsdir/reshard_shard-3.out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q 'listening on' "$obsdir/reshard_shard-3.out" || {
+  echo "ci: shard-3 never came up" >&2; cat "$obsdir/reshard_shard-3.err" >&2; exit 1; }
+printf '{"action":"add","name":"shard-3","url":"http://%s"}' "$rs3" >"$obsdir/reshard_req.json"
+"$obsdir/bluprobe" -addr "$raddr" -path /v1/fleet/reshard -body "$obsdir/reshard_req.json" \
+  -save-body "$obsdir/reshard_resp.json" >/dev/null
+for cell in cell-2 cell-5 cell-7; do
+  grep -q "\"$cell\"" "$obsdir/reshard_resp.json" || {
+    echo "ci: reshard response does not list moved $cell" >&2
+    cat "$obsdir/reshard_resp.json" >&2; exit 1; }
+done
+wait "$load_pid" || {
+  echo "ci: bluload failed across the reshard" >&2
+  cat "$obsdir/reshard_load.out" "$obsdir/reshard_load.err" >&2; exit 1; }
+load_pid=""
+# The router's aggregated scrape must show exactly 3 moved cells (the
+# minimal-motion bound for 1-of-4 ring shares over 8 cells) and the
+# shards' handoff counters crossing process boundaries.
+"$obsdir/bluprobe" -addr "$raddr" -path /metrics -save-body "$obsdir/reshard_metrics.json" >/dev/null
+grep -q '"fleet_reshard_total":1' "$obsdir/reshard_metrics.json" || {
+  echo "ci: aggregated metrics missing fleet_reshard_total=1" >&2
+  cat "$obsdir/reshard_metrics.json" >&2; exit 1; }
+grep -q '"fleet_reshard_moved_cells":3' "$obsdir/reshard_metrics.json" || {
+  echo "ci: aggregated metrics missing fleet_reshard_moved_cells=3" >&2
+  cat "$obsdir/reshard_metrics.json" >&2; exit 1; }
+grep -Eq '"fleet_handoff_sessions_total":[1-9]' "$obsdir/reshard_metrics.json" || {
+  echo "ci: aggregated metrics missing nonzero fleet_handoff_sessions_total" >&2
+  cat "$obsdir/reshard_metrics.json" >&2; exit 1; }
+# Moved cell: byte-identical digest and a byte-identical cache hit
+# from shard-3; unmoved cell: the losing shard kept its cached bytes.
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/observe?cell=cell-2" -body "$obsdir/reshard_dig2.json" \
+  -require-body-file "$obsdir/reshard_dig2_pre.bin" >/dev/null
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/infer?cell=cell-2" -body "$obsdir/reshard_probe2.json" \
+  -require-cache hit -require-body-file "$obsdir/reshard_pre2.bin"
+"$obsdir/bluprobe" -addr "$raddr" -path "/v1/infer?cell=cell-3" -body "$obsdir/reshard_probe3.json" \
+  -require-cache hit -require-body-file "$obsdir/reshard_pre3.bin"
 kill -TERM $fleet_pids
 for pid in $fleet_pids; do
   wait "$pid" 2>/dev/null || true

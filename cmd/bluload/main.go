@@ -50,14 +50,17 @@
 //	             counters ride along)
 //
 // Exit status is nonzero when any request fails (transport error or a
-// status other than 200/429; 429s are backpressure, counted but not
-// failures).
+// status other than 200/429/307; 429s are backpressure and 307s are
+// reshard fences, counted but not failures).
 //
 // Backpressure is honored, not just counted: a 429 carrying
 // Retry-After makes the worker sleep out the advertised horizon —
 // capped, with seeded jitter so two runs back off identically and a
 // worker fleet never retries in lockstep — and retry the same request
-// up to three more times before letting the rejection stand.
+// up to three more times before letting the rejection stand. A 307
+// (a fleet router fencing a mid-reshard cell) is handled the same way:
+// sleep out Retry-After and retry the same URL, which routes to the
+// cell's new owner once the ring swaps.
 package main
 
 import (
@@ -429,6 +432,7 @@ type tally struct {
 	latencies [numEndpoints][]float64 // milliseconds
 	ok        [numEndpoints]int
 	rejected  int // 429 backpressure responses received
+	fenced    int // 307 reshard-fence responses received
 	retried   int // backoff sleeps taken honoring Retry-After
 	failed    int
 	firstErr  string
@@ -582,12 +586,19 @@ func run(args []string) error {
 						tl.latencies[ep] = append(tl.latencies[ep], lat)
 						break
 					}
-					if resp.StatusCode == http.StatusTooManyRequests {
+					if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusTemporaryRedirect {
 						// Honor the shed: sleep out the advertised horizon and
 						// retry the same request, up to the attempt cap. Past
 						// the window deadline the rejection stands — the run is
-						// over.
-						tl.rejected++
+						// over. A 307 is the fleet router fencing a mid-reshard
+						// cell; retrying the same URL reaches the new owner
+						// after the ring swap (no Location is sent, so the
+						// client never follows it automatically).
+						if resp.StatusCode == http.StatusTemporaryRedirect {
+							tl.fenced++
+						} else {
+							tl.rejected++
+						}
 						past := !deadline.IsZero() && time.Now().After(deadline)
 						if attempt >= maxRetryAttempts || past {
 							break
@@ -616,6 +627,7 @@ func run(args []string) error {
 			merged.latencies[ep] = append(merged.latencies[ep], tl.latencies[ep]...)
 		}
 		merged.rejected += tl.rejected
+		merged.fenced += tl.fenced
 		merged.retried += tl.retried
 		merged.failed += tl.failed
 		if merged.firstErr == "" {
@@ -632,8 +644,8 @@ func run(args []string) error {
 	for ep := 0; ep < numEndpoints; ep++ {
 		totalOK += merged.ok[ep]
 	}
-	fmt.Printf("bluload: %d ok, %d rejected (429, %d retried), %d failed in %v (%.1f req/s)\n",
-		totalOK, merged.rejected, merged.retried, merged.failed, wall.Round(time.Millisecond),
+	fmt.Printf("bluload: %d ok, %d rejected (429), %d fenced (307), %d retried, %d failed in %v (%.1f req/s)\n",
+		totalOK, merged.rejected, merged.fenced, merged.retried, merged.failed, wall.Round(time.Millisecond),
 		float64(totalOK)/wall.Seconds())
 
 	report := &obs.BenchReport{

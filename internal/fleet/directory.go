@@ -10,6 +10,7 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"blu/internal/blueprint"
 	"blu/internal/topology"
@@ -136,3 +137,21 @@ func (d *Directory) Validate() error {
 // probes wanting byte-stable cache behavior use ids outside the
 // "cell:" namespace.
 func SessionName(cellID string) string { return "cell:" + cellID }
+
+// SessionCell inverts the fleet's session-id convention
+// ("<label>:<cellID>", e.g. the canonical "cell:<id>" or bluload's
+// probe sessions): the text after the last colon names the cell. The
+// second return is false for ids outside the convention or naming no
+// directory cell — those sessions belong to no cell and never move in
+// a reshard.
+func (d *Directory) SessionCell(sessionID string) (string, bool) {
+	i := strings.LastIndexByte(sessionID, ':')
+	if i < 0 || i+1 == len(sessionID) {
+		return "", false
+	}
+	cell := sessionID[i+1:]
+	if _, ok := d.Cell(cell); !ok {
+		return "", false
+	}
+	return cell, true
+}

@@ -27,18 +27,25 @@ const defaultReplicas = 128
 // rings, so a router can swap assignments atomically.
 type Ring struct {
 	replicas int
-	nodes    []string // sorted, unique
-	keys     []uint64 // sorted vnode hashes
+	hashFn   func(string) uint64 // nil = ringHash; injectable for tests
+	nodes    []string            // sorted, unique
+	keys     []uint64            // sorted vnode hashes
 	owner    map[uint64]string
 }
 
 // NewRing builds a ring with the given vnode count per shard
 // (0 = defaultReplicas) over the given shard names.
 func NewRing(replicas int, nodes ...string) *Ring {
+	return newRingWithHash(replicas, nil, nodes...)
+}
+
+// newRingWithHash is NewRing with an injectable vnode hash — the seam
+// that makes the 64-bit-collision tie-break in rebuild testable.
+func newRingWithHash(replicas int, hashFn func(string) uint64, nodes ...string) *Ring {
 	if replicas <= 0 {
 		replicas = defaultReplicas
 	}
-	r := &Ring{replicas: replicas}
+	r := &Ring{replicas: replicas, hashFn: hashFn}
 	seen := map[string]bool{}
 	for _, n := range nodes {
 		if n != "" && !seen[n] {
@@ -51,12 +58,19 @@ func NewRing(replicas int, nodes ...string) *Ring {
 	return r
 }
 
+func (r *Ring) hash(s string) uint64 {
+	if r.hashFn != nil {
+		return r.hashFn(s)
+	}
+	return ringHash(s)
+}
+
 func (r *Ring) rebuild() {
 	r.keys = r.keys[:0]
 	r.owner = make(map[uint64]string, len(r.nodes)*r.replicas)
 	for _, n := range r.nodes {
 		for i := 0; i < r.replicas; i++ {
-			h := ringHash(n + "#" + strconv.Itoa(i))
+			h := r.hash(n + "#" + strconv.Itoa(i))
 			// A full 64-bit collision across vnodes is astronomically
 			// unlikely; resolve the tie deterministically by name so both
 			// sides of a rebuild agree.
@@ -77,7 +91,7 @@ func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
 
 // Add returns a new ring with node added (no-op copy if present).
 func (r *Ring) Add(node string) *Ring {
-	return NewRing(r.replicas, append(r.Nodes(), node)...)
+	return newRingWithHash(r.replicas, r.hashFn, append(r.Nodes(), node)...)
 }
 
 // Remove returns a new ring with node removed.
@@ -88,7 +102,7 @@ func (r *Ring) Remove(node string) *Ring {
 			keep = append(keep, n)
 		}
 	}
-	return NewRing(r.replicas, keep...)
+	return newRingWithHash(r.replicas, r.hashFn, keep...)
 }
 
 // Owner returns the shard owning key (a cell id), or "" on an empty
@@ -97,7 +111,7 @@ func (r *Ring) Owner(key string) string {
 	if len(r.keys) == 0 {
 		return ""
 	}
-	h := ringHash(key)
+	h := r.hash(key)
 	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
 	if i == len(r.keys) {
 		i = 0 // wrap

@@ -14,6 +14,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -54,6 +55,9 @@ type RouterConfig struct {
 	// where router and shards share one process registry and
 	// aggregation would multiply-count.
 	LocalMetrics bool
+	// RelayTimeout bounds one relayed request end to end (0 = 2m). An
+	// upstream exceeding it answers 504; a dead shard answers 502.
+	RelayTimeout time.Duration
 }
 
 // Router is a running fleet entry point.
@@ -62,9 +66,18 @@ type Router struct {
 	mux    *http.ServeMux
 	client *http.Client
 
-	mu     sync.RWMutex
-	ring   *Ring
-	shards map[string]string
+	// mu guards the routing state: the ring, the shard table, and the
+	// reshard fences (moving cells + per-cell in-flight counts). admit
+	// resolves all of it in one critical section, so a request can
+	// never route by the old ring after the swap.
+	mu       sync.RWMutex
+	ring     *Ring
+	shards   map[string]string
+	moving   map[string]bool
+	inflight map[string]int
+
+	// reshardMu serializes membership changes end to end.
+	reshardMu sync.Mutex
 
 	httpSrv  *http.Server
 	listener net.Listener
@@ -84,17 +97,24 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		names = append(names, n)
 		shards[n] = strings.TrimSuffix(u, "/")
 	}
+	timeout := cfg.RelayTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
 	rt := &Router{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		client: &http.Client{Timeout: 2 * time.Minute},
-		ring:   NewRing(cfg.Replicas, names...),
-		shards: shards,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		client:   &http.Client{Timeout: timeout},
+		ring:     NewRing(cfg.Replicas, names...),
+		shards:   shards,
+		moving:   map[string]bool{},
+		inflight: map[string]int{},
 	}
 	for _, path := range []string{"/v1/infer", "/v1/observe", "/v1/schedule", "/v1/joint"} {
 		rt.mux.HandleFunc(path, rt.handleProxy)
 	}
 	rt.mux.HandleFunc("/v1/fleet/map", rt.handleMap)
+	rt.mux.HandleFunc("/v1/fleet/reshard", rt.handleReshard)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	return rt, nil
@@ -153,6 +173,33 @@ func (rt *Router) shardFor(cellID string) (name, url string, ok bool) {
 	return name, url, ok
 }
 
+// admit resolves a cell for relaying under one critical section: a
+// fenced (mid-reshard) cell is refused, otherwise the in-flight count
+// rises and the current owner's URL is returned. Every admitted
+// request must release the cell when its relay finishes.
+func (rt *Router) admit(cellID string) (url string, moving, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.moving[cellID] {
+		return "", true, false
+	}
+	url, ok = rt.shards[rt.ring.Owner(cellID)]
+	if ok {
+		rt.inflight[cellID]++
+	}
+	return url, false, ok
+}
+
+func (rt *Router) release(cellID string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.inflight[cellID] > 1 {
+		rt.inflight[cellID]--
+	} else {
+		delete(rt.inflight, cellID)
+	}
+}
+
 // shardList snapshots the current routing table.
 func (rt *Router) shardList() map[string]string {
 	rt.mu.RLock()
@@ -173,8 +220,43 @@ func cellOf(r *http.Request) string {
 	return r.Header.Get("X-Blu-Cell")
 }
 
+// hopByHopHeaders are the connection-scoped headers a relay must not
+// forward (RFC 9110 §7.6.1). Everything else crosses verbatim, both
+// directions, so the client sees exactly the header set the shard
+// emitted — including the binary codec's Content-Type on error paths
+// and any header a future serve version adds.
+var hopByHopHeaders = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// copyRelayHeaders copies every end-to-end header from src to dst.
+// Content-Length is skipped on the wire copy — the transport derives
+// it from the body it actually sends.
+func copyRelayHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		ck := http.CanonicalHeaderKey(k)
+		if hopByHopHeaders[ck] || ck == "Content-Length" {
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(ck, v)
+		}
+	}
+}
+
 // handleProxy forwards one controller request to the owning shard and
-// relays the response byte-identically.
+// relays the response byte-identically — status, headers (minus
+// hop-by-hop), and body. A cell fenced by an in-progress reshard
+// answers 307 + Retry-After with no Location: the authoritative route
+// is unknown until the ring swaps, so the client retries the same URL
+// after the pause (bluload handles this like a 429).
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	cell := cellOf(r)
 	if cell == "" {
@@ -182,12 +264,18 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		writeRouterError(w, http.StatusBadRequest, "cell required (query parameter or X-Blu-Cell header)")
 		return
 	}
-	_, base, ok := rt.shardFor(cell)
+	base, moving, ok := rt.admit(cell)
+	if moving {
+		w.Header().Set("Retry-After", "1")
+		writeRouterError(w, http.StatusTemporaryRedirect, fmt.Sprintf("cell %q resharding; retry", cell))
+		return
+	}
 	if !ok {
 		obsRouteError.Inc()
 		writeRouterError(w, http.StatusBadGateway, fmt.Sprintf("no shard for cell %q", cell))
 		return
 	}
+	defer rt.release(cell)
 	obsRouted.Inc()
 	url := base + r.URL.Path
 	if q := r.URL.RawQuery; q != "" {
@@ -199,22 +287,27 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		writeRouterError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	for _, h := range []string{"Content-Type", "Accept", "Content-Length"} {
-		if v := r.Header.Get(h); v != "" {
-			preq.Header.Set(h, v)
-		}
-	}
+	copyRelayHeaders(preq.Header, r.Header)
+	preq.ContentLength = r.ContentLength
 	pres, err := rt.client.Do(preq)
 	if err != nil {
 		obsRouteError.Inc()
-		writeRouterError(w, http.StatusBadGateway, "shard unreachable: "+err.Error())
+		// A slow shard and a dead shard are different operational
+		// problems: timeouts surface as 504 (mirroring blud's own
+		// per-request deadline semantics), everything else — connection
+		// refused, reset, DNS — as 502.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			writeRouterError(w, http.StatusGatewayTimeout, "shard timeout: "+err.Error())
+		} else {
+			writeRouterError(w, http.StatusBadGateway, "shard unreachable: "+err.Error())
+		}
 		return
 	}
 	defer pres.Body.Close()
-	for _, h := range []string{"Content-Type", "X-Blu-Cache", "Retry-After"} {
-		if v := pres.Header.Get(h); v != "" {
-			w.Header().Set(h, v)
-		}
+	copyRelayHeaders(w.Header(), pres.Header)
+	if pres.ContentLength >= 0 {
+		w.Header().Set("Content-Length", fmt.Sprint(pres.ContentLength))
 	}
 	w.WriteHeader(pres.StatusCode)
 	io.Copy(w, pres.Body)

@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blu/internal/serve"
@@ -48,11 +49,18 @@ type ShardConfig struct {
 // Shard is a running fleet member.
 type Shard struct {
 	name      string
-	ring      *Ring
+	replicas  int
+	ring      atomic.Pointer[Ring] // swapped by SetMembership during a reshard
 	directory Directory
 	srv       *serve.Server
 	mux       *http.ServeMux
 	client    *http.Client
+
+	// ctx bounds every background round (exchange shipping) by the
+	// shard's lifetime: stopExchange cancels it, so a wedged peer cannot
+	// hold Drain/Abort for the full client timeout.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	peersMu sync.RWMutex
 	peers   map[string]string
@@ -92,19 +100,22 @@ func NewShard(cfg ShardConfig) (*Shard, *serve.RecoverStats, error) {
 	}
 	sh := &Shard{
 		name:      cfg.Name,
-		ring:      NewRing(cfg.Replicas, cfg.ShardNames...),
+		replicas:  cfg.Replicas,
 		directory: cfg.Directory,
 		srv:       srv,
 		mux:       http.NewServeMux(),
 		client:    &http.Client{Timeout: 10 * time.Second},
 		peers:     map[string]string{},
 	}
+	sh.ring.Store(NewRing(cfg.Replicas, cfg.ShardNames...))
+	sh.ctx, sh.cancel = context.WithCancel(context.Background())
 	for n, u := range cfg.Peers {
 		sh.peers[n] = u
 	}
 	sh.mux.Handle("/", srv.Handler())
 	sh.mux.HandleFunc("/v1/fleet/exchange", sh.handleExchange)
 	sh.mux.HandleFunc("/v1/fleet/blueprints", sh.handleBlueprints)
+	sh.mux.HandleFunc("/v1/fleet/handoff", sh.handleHandoff)
 	if cfg.ExchangeInterval > 0 {
 		sh.exchStop = make(chan struct{})
 		sh.exchDone = make(chan struct{})
@@ -140,9 +151,10 @@ func (sh *Shard) peerURL(name string) (string, bool) {
 // OwnedCells lists the cells the ring assigns to this shard, in
 // directory order.
 func (sh *Shard) OwnedCells() []string {
+	ring := sh.ring.Load()
 	var out []string
 	for i := range sh.directory.Cells {
-		if sh.ring.Owner(sh.directory.Cells[i].ID) == sh.name {
+		if ring.Owner(sh.directory.Cells[i].ID) == sh.name {
 			out = append(out, sh.directory.Cells[i].ID)
 		}
 	}
@@ -150,7 +162,23 @@ func (sh *Shard) OwnedCells() []string {
 }
 
 // Owns reports whether this shard owns the cell.
-func (sh *Shard) Owns(cellID string) bool { return sh.ring.Owner(cellID) == sh.name }
+func (sh *Shard) Owns(cellID string) bool { return sh.ring.Load().Owner(cellID) == sh.name }
+
+// SetMembership atomically replaces the shard's view of the fleet: the
+// ring is rebuilt over names and the peer table replaced with peers
+// (the shard's own entry ignored). The router broadcasts this after a
+// reshard commits, so exchange rounds target the new owners.
+func (sh *Shard) SetMembership(names []string, peers map[string]string) {
+	sh.ring.Store(NewRing(sh.replicas, names...))
+	sh.peersMu.Lock()
+	defer sh.peersMu.Unlock()
+	sh.peers = map[string]string{}
+	for n, u := range peers {
+		if n != sh.name {
+			sh.peers[n] = u
+		}
+	}
+}
 
 // Listen binds addr (":0" picks a free port) and serves Handler in the
 // background, returning the bound address.
@@ -191,6 +219,9 @@ func (sh *Shard) Abort() {
 }
 
 func (sh *Shard) stopExchange() {
+	// Cancel first: an exchange round blocked on a wedged peer unblocks
+	// immediately instead of holding shutdown for the client timeout.
+	sh.cancel()
 	if sh.exchStop == nil {
 		return
 	}
@@ -211,7 +242,7 @@ func (sh *Shard) exchangeLoop(interval time.Duration) {
 		case <-sh.exchStop:
 			return
 		case <-t.C:
-			if _, err := sh.ExchangeOnce(context.Background()); err != nil {
+			if _, err := sh.ExchangeOnce(sh.ctx); err != nil {
 				obsExchangeErrors.Inc()
 			}
 		}
@@ -235,11 +266,12 @@ type ExchangeStats struct {
 func (sh *Shard) ExchangeOnce(ctx context.Context) (ExchangeStats, error) {
 	obsExchangeRounds.Inc()
 	var stats ExchangeStats
+	ring := sh.ring.Load()
 	// Group outgoing reports by owning shard so each peer gets one POST.
 	outgoing := map[string][]CellReports{}
 	for i := range sh.directory.Cells {
 		from := &sh.directory.Cells[i]
-		if sh.ring.Owner(from.ID) != sh.name {
+		if ring.Owner(from.ID) != sh.name {
 			continue
 		}
 		topo, _, _, ok := sh.srv.SessionBlueprint(SessionName(from.ID))
@@ -255,7 +287,7 @@ func (sh *Shard) ExchangeOnce(ctx context.Context) (ExchangeStats, error) {
 			if len(reports) == 0 {
 				continue
 			}
-			owner := sh.ring.Owner(to.ID)
+			owner := ring.Owner(to.ID)
 			outgoing[owner] = append(outgoing[owner], CellReports{Cell: to.ID, From: from.ID, HTs: reports})
 			stats.Published += len(reports)
 			obsExchangePublished.Add(int64(len(reports)))
@@ -352,9 +384,10 @@ func (sh *Shard) handleBlueprints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BlueprintsResponse{Shard: sh.name, Cells: []CellBlueprintWire{}}
+	ring := sh.ring.Load()
 	for i := range sh.directory.Cells {
 		cell := &sh.directory.Cells[i]
-		if sh.ring.Owner(cell.ID) != sh.name {
+		if ring.Owner(cell.ID) != sh.name {
 			continue
 		}
 		topo, digest, epoch, ok := sh.srv.SessionBlueprint(SessionName(cell.ID))

@@ -71,7 +71,7 @@ func FuzzScanSegment(f *testing.F) {
 			prev = lsn
 			// A delivered payload always carried a matching CRC; recompute
 			// to pin the invariant.
-			if walRecordCRC(lsn, payload) == 0 && len(payload) > 0 && payload[0] == 0xff {
+			if walRecordCRC(lsn, payload, nil) == 0 && len(payload) > 0 && payload[0] == 0xff {
 				_ = payload
 			}
 			return nil

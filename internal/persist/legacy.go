@@ -1,0 +1,170 @@
+// Legacy (v1) on-disk format writers: the pre-versioning BLUS/BLUL
+// layouts, kept as first-class encoders so an operator can roll a state
+// directory back to a v1 daemon (cmd/blustate) and so the migration
+// path — a v2 daemon opening v1 state in place — stays testable end to
+// end instead of depending on checked-in binary fixtures.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// encodeSnapshotV1 renders a complete v1 BLUS image: the v2 layout
+// minus the per-record TLV tail.
+func encodeSnapshotV1(cut uint64, records [][]byte) []byte {
+	size := snapshotHeaderLen + 4 + snapshotFooterLen
+	for _, r := range records {
+		size += 8 + len(r)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, snapMagic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, snapshotVersionV1)
+	b = binary.LittleEndian.AppendUint64(b, cut)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(records)))
+	for _, r := range records {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r)))
+		b = append(b, r...)
+		b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(r))
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	b = append(b, snapFooterMagic[:]...)
+	return b
+}
+
+// appendWALHeaderV1 writes a v1 segment header.
+func appendWALHeaderV1(b []byte, firstLSN uint64) []byte {
+	b = append(b, walMagic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, walVersionV1)
+	b = binary.LittleEndian.AppendUint64(b, firstLSN)
+	return b
+}
+
+// appendWALRecordV1 frames one v1 record (no TLV tail) onto b.
+func appendWALRecordV1(b []byte, lsn uint64, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint64(b, lsn)
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, walRecordCRC(lsn, payload, nil))
+	return b
+}
+
+// DowngradeStats reports what DowngradeStateDir rewrote.
+type DowngradeStats struct {
+	SnapshotRecords int // records re-encoded into the v1 snapshot image
+	WALSegments     int // segments rewritten in the v1 framing
+	WALRecords      int // WAL records carried over
+}
+
+// DowngradeStateDir rewrites a closed state directory in the v1 on-disk
+// format: the snapshot image (if any) and every WAL segment are decoded
+// with the current reader and re-encoded v1, in place and atomically
+// per file. It is the rollback half of the cross-version story — a v1
+// daemon can then open the directory, and a v2 daemon re-opening it
+// exercises the read-old/write-new migration path
+// (persist_migrated_total). The directory must not be held open by a
+// live Store.
+func DowngradeStateDir(dir string) (*DowngradeStats, error) {
+	stats := &DowngradeStats{}
+
+	snap, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: downgrade snapshot: %w", err)
+	}
+	if snap != nil {
+		if snap.skipped > 0 {
+			return nil, fmt.Errorf("persist: downgrade: snapshot has %d damaged records; refusing a lossy rewrite", snap.skipped)
+		}
+		if err := writeFileAtomic(dir, SnapshotFile, encodeSnapshotV1(snap.cut, snap.records)); err != nil {
+			return nil, fmt.Errorf("persist: downgrade snapshot: %w", err)
+		}
+		stats.SnapshotRecords = len(snap.records)
+	}
+
+	firsts, err := walSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, first := range firsts {
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(first)))
+		if err != nil {
+			return nil, err
+		}
+		out := appendWALHeaderV1(nil, first)
+		n := 0
+		sc := scanSegment(data, 0, 0, func(lsn uint64, payload []byte) error {
+			out = appendWALRecordV1(out, lsn, payload)
+			n++
+			return nil
+		})
+		if sc.skipped > 0 || sc.tailLost {
+			return nil, fmt.Errorf("persist: downgrade: segment %s is damaged; refusing a lossy rewrite", segmentName(first))
+		}
+		if err := writeFileAtomic(dir, segmentName(first), out); err != nil {
+			return nil, fmt.Errorf("persist: downgrade segment: %w", err)
+		}
+		stats.WALSegments++
+		stats.WALRecords += n
+	}
+	return stats, nil
+}
+
+// InspectStats summarizes a state directory without opening it.
+type InspectStats struct {
+	SnapshotVersion int    // 0 = no snapshot file
+	SnapshotRecords int
+	SnapshotDamaged int
+	Cut             uint64
+	Segments        []SegmentInfo
+}
+
+// SegmentInfo describes one WAL segment on disk.
+type SegmentInfo struct {
+	FirstLSN uint64
+	Version  int
+	Records  int
+	Damaged  bool
+}
+
+// InspectStateDir reads a state directory's formats and record counts —
+// the read-only half of cmd/blustate.
+func InspectStateDir(dir string) (*InspectStats, error) {
+	st := &InspectStats{}
+	data, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return nil, err
+	default:
+		if len(data) >= 8 && [4]byte(data[:4]) == snapMagic {
+			st.SnapshotVersion = int(binary.LittleEndian.Uint32(data[4:]))
+		}
+		if snap, derr := decodeSnapshot(data); derr == nil {
+			st.SnapshotRecords = len(snap.records)
+			st.SnapshotDamaged = snap.skipped
+			st.Cut = snap.cut
+		}
+	}
+	firsts, err := walSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, first := range firsts {
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(first)))
+		if err != nil {
+			return nil, err
+		}
+		info := SegmentInfo{FirstLSN: first}
+		if len(data) >= 8 && [4]byte(data[:4]) == walMagic {
+			info.Version = int(binary.LittleEndian.Uint32(data[4:]))
+		}
+		sc := scanSegment(data, 0, 0, func(uint64, []byte) error { return nil })
+		info.Records = sc.replayed
+		info.Damaged = sc.skipped > 0 || sc.tailLost
+		st.Segments = append(st.Segments, info)
+	}
+	return st, nil
+}

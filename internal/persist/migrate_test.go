@@ -1,0 +1,198 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeV1StateDir lays down a hand-built pre-versioning directory: a v1
+// snapshot holding snapRecs with the given cut, plus one v1 WAL segment
+// starting at LSN 1 carrying walRecs in order.
+func writeV1StateDir(t *testing.T, dir string, cut uint64, snapRecs, walRecs [][]byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), encodeSnapshotV1(cut, snapRecs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seg := appendWALHeaderV1(nil, 1)
+	for i, p := range walRecs {
+		seg = appendWALRecordV1(seg, uint64(i+1), p)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMigratesV1StateInPlace(t *testing.T) {
+	dir := t.TempDir()
+	snapRecs := [][]byte{[]byte("session-a"), []byte("session-b")}
+	walRecs := [][]byte{
+		payload(0), payload(1), payload(2), // below the cut: folded into the image
+		payload(3), payload(4), payload(5), // live tail the reopen must replay
+	}
+	writeV1StateDir(t, dir, 4, snapRecs, walRecs)
+
+	var restored [][]byte
+	var rl replayLog
+	s, stats := openForTest(t, dir, slowOpts,
+		func(rec []byte) error {
+			restored = append(restored, append([]byte(nil), rec...))
+			return nil
+		}, rl.fn)
+	if stats.Migrated != 2 {
+		t.Fatalf("migrated %d v1 artifacts, want 2 (snapshot + segment)", stats.Migrated)
+	}
+	if stats.SnapshotRecords != 2 || stats.WALReplayed != 3 || stats.CorruptDropped != 0 {
+		t.Fatalf("v1 recovery stats: %+v", stats)
+	}
+	if len(restored) != 2 || !bytes.Equal(restored[0], snapRecs[0]) || !bytes.Equal(restored[1], snapRecs[1]) {
+		t.Fatalf("restored %q", restored)
+	}
+	for i, lsn := range rl.lsns {
+		if lsn != uint64(4+i) || !bytes.Equal(rl.payloads[i], payload(3+i)) {
+			t.Fatalf("replay %d: lsn %d payload %q", i, lsn, rl.payloads[i])
+		}
+	}
+	if stats.NextLSN != 7 {
+		t.Fatalf("next lsn %d, want 7", stats.NextLSN)
+	}
+
+	// Read-old/write-new: one checkpoint cycle rewrites the directory in
+	// the current format, so the next open owes nothing to v1.
+	if _, err := s.Append(payload(6)); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(cut, [][]byte{[]byte("session-a2"), []byte("session-b2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, stats := openForTest(t, dir, slowOpts, func([]byte) error { return nil }, nil)
+	defer s2.Close()
+	if stats.Migrated != 0 {
+		t.Fatalf("post-checkpoint open still migrated %d artifacts", stats.Migrated)
+	}
+	if stats.SnapshotRecords != 2 || stats.CorruptDropped != 0 {
+		t.Fatalf("post-checkpoint stats: %+v", stats)
+	}
+
+	st, err := InspectStateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotVersion != snapshotVersion {
+		t.Fatalf("snapshot version %d after checkpoint, want %d", st.SnapshotVersion, snapshotVersion)
+	}
+	for _, seg := range st.Segments {
+		if seg.Version != walVersion {
+			t.Fatalf("segment %016x still version %d", seg.FirstLSN, seg.Version)
+		}
+	}
+}
+
+func TestDowngradeStateDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openForTest(t, dir, slowOpts, nil, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapRecs := [][]byte{[]byte("alpha"), []byte("beta")}
+	if err := s.WriteSnapshot(cut, snapRecs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 8; i++ {
+		if _, err := s.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dg, err := DowngradeStateDir(dir)
+	if err != nil {
+		t.Fatalf("downgrade: %v", err)
+	}
+	if dg.SnapshotRecords != 2 || dg.WALRecords != 3 || dg.WALSegments == 0 {
+		t.Fatalf("downgrade stats: %+v", dg)
+	}
+
+	st, err := InspectStateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotVersion != snapshotVersionV1 {
+		t.Fatalf("snapshot version %d after downgrade, want %d", st.SnapshotVersion, snapshotVersionV1)
+	}
+	for _, seg := range st.Segments {
+		if seg.Version != walVersionV1 || seg.Damaged {
+			t.Fatalf("segment after downgrade: %+v", seg)
+		}
+	}
+
+	// The downgraded directory recovers identically — and counts as a
+	// migration again, closing the rollback/upgrade loop.
+	var restored [][]byte
+	var rl replayLog
+	s2, stats := openForTest(t, dir, slowOpts,
+		func(rec []byte) error {
+			restored = append(restored, append([]byte(nil), rec...))
+			return nil
+		}, rl.fn)
+	defer s2.Close()
+	if stats.Migrated == 0 {
+		t.Fatalf("reopening a downgraded dir counted no migration: %+v", stats)
+	}
+	if stats.SnapshotRecords != 2 || stats.WALReplayed != 3 || stats.CorruptDropped != 0 {
+		t.Fatalf("post-downgrade stats: %+v", stats)
+	}
+	if !bytes.Equal(restored[0], snapRecs[0]) || !bytes.Equal(restored[1], snapRecs[1]) {
+		t.Fatalf("restored %q", restored)
+	}
+	for i, lsn := range rl.lsns {
+		if lsn != cut+uint64(i) || !bytes.Equal(rl.payloads[i], payload(5+i)) {
+			t.Fatalf("replay %d: lsn %d payload %q", i, lsn, rl.payloads[i])
+		}
+	}
+}
+
+func TestV1RecordCorruptionStillSkippedInPlace(t *testing.T) {
+	dir := t.TempDir()
+	walRecs := [][]byte{payload(0), payload(1), payload(2)}
+	writeV1StateDir(t, dir, 0, nil, walRecs)
+	// Flip a byte inside record 2's payload: v1 frames are
+	// len(4)+lsn(8)+payload+crc(4), record 1 starts at the 16-byte header.
+	segPath := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := walHeaderLen + walFrameLenV1 + len(walRecs[0]) + 12
+	data[off] ^= 0x20
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var rl replayLog
+	s, stats := openForTest(t, dir, slowOpts, nil, rl.fn)
+	defer s.Close()
+	if stats.WALReplayed != 2 || stats.CorruptDropped != 1 || stats.Migrated != 2 {
+		t.Fatalf("v1 corruption stats: %+v", stats)
+	}
+	if len(rl.lsns) != 2 || rl.lsns[0] != 1 || rl.lsns[1] != 3 {
+		t.Fatalf("replayed lsns %v, want [1 3]", rl.lsns)
+	}
+}

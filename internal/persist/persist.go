@@ -49,6 +49,12 @@ var (
 	obsSnapshots  = obs.GetCounter("persist_snapshots_total")
 	obsWALAppends = obs.GetCounter("persist_wal_appends_total")
 	obsWALSyncs   = obs.GetCounter("persist_wal_syncs_total")
+	// obsMigrated counts v1-format artifacts (snapshot image, WAL
+	// segments) a v2 daemon read in place — the observable trace of a
+	// cross-version state upgrade. New writes are always current-format,
+	// so the count returns to zero once a snapshot cycle rewrites the
+	// directory.
+	obsMigrated = obs.GetCounter("persist_migrated_total")
 )
 
 // Options tune the group-commit window.
@@ -78,6 +84,7 @@ type RecoverStats struct {
 	SnapshotRecords int    // snapshot records successfully restored
 	WALReplayed     int    // WAL records successfully replayed
 	CorruptDropped  int    // records and damage events skipped
+	Migrated        int    // v1-format artifacts read by this v2 daemon
 	Cut             uint64 // the loaded snapshot's WAL cut (0 = none)
 	NextLSN         uint64 // first LSN the reopened store will assign
 }
@@ -132,6 +139,9 @@ func Open(dir string, opts Options, restore func(record []byte) error, replay fu
 	if snap != nil {
 		stats.Cut = snap.cut
 		stats.CorruptDropped += snap.skipped
+		if snap.legacy {
+			stats.Migrated++
+		}
 		for _, rec := range snap.records {
 			if restore == nil {
 				continue
@@ -144,7 +154,7 @@ func Open(dir string, opts Options, restore func(record []byte) error, replay fu
 		}
 	}
 
-	replayed, skipped, walNext, err := replayWAL(dir, stats.Cut, func(lsn uint64, payload []byte) error {
+	replayed, skipped, legacySegs, walNext, err := replayWAL(dir, stats.Cut, func(lsn uint64, payload []byte) error {
 		if replay == nil {
 			return nil
 		}
@@ -155,6 +165,7 @@ func Open(dir string, opts Options, restore func(record []byte) error, replay fu
 	}
 	stats.WALReplayed = replayed
 	stats.CorruptDropped += skipped
+	stats.Migrated += legacySegs
 
 	next := walNext
 	if stats.Cut > next {
@@ -183,6 +194,7 @@ func Open(dir string, opts Options, restore func(record []byte) error, replay fu
 	if obs.Enabled() {
 		obsRecovered.Add(int64(stats.SnapshotRecords + stats.WALReplayed))
 		obsCorrupt.Add(int64(stats.CorruptDropped))
+		obsMigrated.Add(int64(stats.Migrated))
 	}
 	return s, stats, nil
 }

@@ -335,8 +335,9 @@ func TestRecoverySnapshotDamage(t *testing.T) {
 	t.Run("flipped-record", func(t *testing.T) {
 		dir := t.TempDir()
 		damaged := append([]byte(nil), image...)
-		// Second record's payload starts after header(20) + rec A frame.
-		off := snapshotHeaderLen + 4 + 8 + len(recA) + 4
+		// Second record's payload starts after header(20) + rec A's v2
+		// frame (len + payload + tlvLen + crc) + rec B's len field.
+		off := snapshotHeaderLen + 4 + 10 + len(recA) + 4
 		damaged[off] ^= 0x01
 		if err := os.WriteFile(filepath.Join(dir, SnapshotFile), damaged, 0o644); err != nil {
 			t.Fatal(err)

@@ -3,17 +3,32 @@
 // session plus the WAL cut — the LSN from which replay must resume for
 // the pair (snapshot, WAL) to equal the never-restarted state.
 //
-// File layout (all multi-byte fields little-endian):
+// v2 file layout (all multi-byte fields little-endian):
 //
 //	[4]byte magic "BLUS"
-//	u32    version (currently 1)
+//	u32    version (2)
 //	u64    cut — first WAL LSN not reflected in the image
 //	u32    record count
 //	records:
-//	  u32  len, len payload bytes, u32 crc32-IEEE(payload)
+//	  u32  len, len payload bytes
+//	  u16  tlvLen, tlvLen TLV tail bytes (see below)
+//	  u32  crc32-IEEE(payload ++ TLV tail)
 //	footer:
 //	  u32  crc32-IEEE over every preceding byte
 //	  [4]byte magic "SULB"
+//
+// The per-record TLV tail is the format's extension point: a sequence
+// of (u8 type, u16 len, len bytes) entries. The current writer emits an
+// empty tail; a reader skips entry types it does not know, so a future
+// writer can attach per-record metadata (provenance, schema hints,
+// compression flags) without another container version bump. The tail
+// is covered by the record CRC, so extensions inherit the same
+// corruption detection as the payload.
+//
+// v1 files (the pre-versioning format: identical layout minus the TLV
+// tail) are still read in full — a v2 daemon opens v1 state in place
+// and counts the migration on persist_migrated_total; the next snapshot
+// rewrite emits v2.
 //
 // The image is written tmp-file + fsync + rename + dir-fsync, so a
 // reader only ever sees the previous complete snapshot or the new one.
@@ -33,9 +48,15 @@ import (
 )
 
 const (
-	snapshotVersion   = 1
+	snapshotVersionV1 = 1
+	snapshotVersion   = 2 // written by encodeSnapshot
 	snapshotHeaderLen = 16 // magic(4) + version(4) + cut(8) ... count follows
 	snapshotFooterLen = 8  // crc(4) + magic(4)
+
+	// maxTLVLen caps a declared per-record TLV tail, mirroring
+	// maxRecordLen's job: a corrupt length field must not drive a huge
+	// allocation or swallow the file.
+	maxTLVLen = 1 << 12
 
 	// SnapshotFile is the image's name inside the state directory.
 	SnapshotFile = "state.blus"
@@ -46,11 +67,30 @@ var (
 	snapFooterMagic = [4]byte{'S', 'U', 'L', 'B'}
 )
 
-// encodeSnapshot renders a complete BLUS image.
+// validTLV reports whether b parses as a well-formed sequence of
+// (u8 type, u16 len, bytes) entries. Unknown types are fine — the tail
+// exists so future writers can add them — but broken framing marks the
+// record untrustworthy.
+func validTLV(b []byte) bool {
+	off := 0
+	for off < len(b) {
+		if len(b)-off < 3 {
+			return false
+		}
+		l := int(binary.LittleEndian.Uint16(b[off+1:]))
+		off += 3 + l
+		if off > len(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeSnapshot renders a complete v2 BLUS image.
 func encodeSnapshot(cut uint64, records [][]byte) []byte {
 	size := snapshotHeaderLen + 4 + snapshotFooterLen
 	for _, r := range records {
-		size += 8 + len(r)
+		size += 10 + len(r)
 	}
 	b := make([]byte, 0, size)
 	b = append(b, snapMagic[:]...)
@@ -60,6 +100,7 @@ func encodeSnapshot(cut uint64, records [][]byte) []byte {
 	for _, r := range records {
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(r)))
 		b = append(b, r...)
+		b = binary.LittleEndian.AppendUint16(b, 0) // empty TLV tail
 		b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(r))
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
@@ -71,14 +112,15 @@ func encodeSnapshot(cut uint64, records [][]byte) []byte {
 type snapshotScan struct {
 	cut     uint64
 	records [][]byte
-	skipped int // per-record CRC failures and lost tails, counted
+	skipped int  // per-record CRC failures and lost tails, counted
+	legacy  bool // the image was a v1 file (migration accounting)
 }
 
-// decodeSnapshot parses a BLUS image, salvaging every record whose own
-// CRC verifies. It returns an error only when the header is unusable
-// (wrong magic/version, too short) — then there is no snapshot to
-// speak of; any lesser damage is reported through skipped so the
-// caller can count it without losing the intact sessions.
+// decodeSnapshot parses a BLUS image (v1 or v2), salvaging every record
+// whose own CRC verifies. It returns an error only when the header is
+// unusable (wrong magic, unknown version, too short) — then there is no
+// snapshot to speak of; any lesser damage is reported through skipped
+// so the caller can count it without losing the intact sessions.
 func decodeSnapshot(data []byte) (*snapshotScan, error) {
 	if len(data) < snapshotHeaderLen+4 {
 		return nil, fmt.Errorf("persist: snapshot is %d bytes, header needs %d", len(data), snapshotHeaderLen+4)
@@ -86,10 +128,14 @@ func decodeSnapshot(data []byte) (*snapshotScan, error) {
 	if [4]byte(data[:4]) != snapMagic {
 		return nil, fmt.Errorf("persist: snapshot has bad magic %q", data[:4])
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != snapshotVersion {
-		return nil, fmt.Errorf("persist: snapshot version %d, want %d", v, snapshotVersion)
+	version := binary.LittleEndian.Uint32(data[4:])
+	if version != snapshotVersionV1 && version != snapshotVersion {
+		return nil, fmt.Errorf("persist: snapshot version %d, want %d or %d", version, snapshotVersionV1, snapshotVersion)
 	}
-	sc := &snapshotScan{cut: binary.LittleEndian.Uint64(data[8:])}
+	sc := &snapshotScan{
+		cut:    binary.LittleEndian.Uint64(data[8:]),
+		legacy: version == snapshotVersionV1,
+	}
 	count := binary.LittleEndian.Uint32(data[16:])
 
 	body := data
@@ -101,21 +147,42 @@ func decodeSnapshot(data []byte) (*snapshotScan, error) {
 		footerOK = fileCRC == crc32.ChecksumIEEE(body)
 	}
 
+	// Fixed per-record overhead beyond the payload: v1 frames carry
+	// len(4)+crc(4); v2 adds the TLV length prefix (2).
+	overhead := 10
+	if sc.legacy {
+		overhead = 8
+	}
 	off := snapshotHeaderLen + 4
 	for i := uint32(0); i < count; i++ {
-		if len(body)-off < 8 {
+		if len(body)-off < overhead {
 			sc.skipped += int(count - i) // torn tail: the rest never made it
 			return sc, nil
 		}
 		plen := binary.LittleEndian.Uint32(body[off:])
-		if plen > maxRecordLen || int(plen) > len(body)-off-8 {
+		if plen > maxRecordLen || int(plen) > len(body)-off-overhead {
 			sc.skipped += int(count - i) // boundary lost
 			return sc, nil
 		}
 		payload := body[off+4 : off+4+int(plen)]
-		gotCRC := binary.LittleEndian.Uint32(body[off+4+int(plen):])
-		off += 8 + int(plen)
-		if gotCRC != crc32.ChecksumIEEE(payload) {
+		var tlv []byte
+		end := off + 4 + int(plen)
+		if !sc.legacy {
+			tlvLen := int(binary.LittleEndian.Uint16(body[end:]))
+			if tlvLen > maxTLVLen || tlvLen > len(body)-end-6 {
+				sc.skipped += int(count - i) // TLV boundary lost
+				return sc, nil
+			}
+			tlv = body[end+2 : end+2+tlvLen]
+			end += 2 + tlvLen
+		}
+		gotCRC := binary.LittleEndian.Uint32(body[end:])
+		off = end + 4
+		wantCRC := crc32.ChecksumIEEE(payload)
+		if len(tlv) > 0 {
+			wantCRC = crc32.Update(wantCRC, crc32.IEEETable, tlv)
+		}
+		if gotCRC != wantCRC || !validTLV(tlv) {
 			sc.skipped++
 			continue
 		}

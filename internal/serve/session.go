@@ -124,6 +124,22 @@ func (st *sessionStore) getOrCreate(id string, n int) (s, evicted *session, err 
 	return s, evicted, nil
 }
 
+// remove detaches and returns the session for id, or nil. The caller
+// owns dropping the detached session's minted cache keys — same
+// contract as an eviction.
+func (st *sessionStore) remove(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.items[id]
+	if !ok {
+		return nil
+	}
+	st.ll.Remove(el)
+	delete(st.items, id)
+	obsSessions.Set(float64(st.ll.Len()))
+	return el.Value.(*session)
+}
+
 // len returns the live session count.
 func (st *sessionStore) len() int {
 	st.mu.Lock()
